@@ -1,0 +1,902 @@
+(* Benchmark harness: regenerates the paper's Figure 1 and one table per
+   quantitative claim (C2..C11). See DESIGN.md §4 for the experiment
+   index and EXPERIMENTS.md for paper-vs-measured discussion.
+
+   Usage: dune exec bench/main.exe            (all experiments)
+          dune exec bench/main.exe -- F1 C7   (a subset) *)
+
+open Stallhide
+open Stallhide_isa
+open Stallhide_mem
+open Stallhide_cpu
+open Stallhide_binopt
+open Stallhide_runtime
+open Stallhide_workloads
+
+let seed = 20230619
+
+let ff = Experiment.ff
+
+let pct = Experiment.pct
+
+let fi = Experiment.fi
+
+let chase ?image ?(lanes = 16) ?(nodes = 2048) ?(hops = 300) ?compute ?manual () =
+  Pointer_chase.make ?image ?manual ~lanes ~nodes_per_lane:nodes ~hops ?compute ~seed ()
+
+let opts_with ?(mem_cfg = Memconfig.default) ?(switch = Switch_cost.coroutine) () =
+  { Baselines.default_opts with Baselines.mem_cfg; switch }
+
+(* ------------------------------------------------------------------ *)
+(* F1 — Figure 1: which mechanism hides events of which duration.      *)
+(* ------------------------------------------------------------------ *)
+
+let f1_row ~work d =
+  let mem_cfg = Memconfig.with_dram_latency Memconfig.default d in
+  let opts = opts_with ~mem_cfg () in
+  (* software mechanisms scale concurrency on demand *)
+  let sw_lanes = min 128 (max 16 (d / max 1 work)) in
+  let none = Baselines.run_sequential ~opts (chase ~lanes:8 ~compute:work ()) in
+  let ooo = Baselines.run_ooo ~opts ~window:48 (chase ~lanes:8 ~compute:work ()) in
+  let smt2 = Baselines.run_smt ~opts (chase ~lanes:2 ~compute:work ()) in
+  let smt8 = Baselines.run_smt ~opts (chase ~lanes:8 ~compute:work ()) in
+  let coro, _ = Baselines.run_pgo ~opts (chase ~lanes:sw_lanes ~compute:work ()) in
+  let os =
+    Baselines.run_round_robin
+      ~opts:(opts_with ~mem_cfg ~switch:Switch_cost.os_process ())
+      (chase ~lanes:sw_lanes ~compute:work ~manual:true ())
+  in
+  [
+    fi d;
+    fi work;
+    fi sw_lanes;
+    pct none.Metrics.efficiency;
+    pct ooo.Metrics.efficiency;
+    pct smt2.Metrics.efficiency;
+    pct smt8.Metrics.efficiency;
+    pct coro.Metrics.efficiency;
+    pct os.Metrics.efficiency;
+  ]
+
+let f1 () =
+  let durations = [ 8; 20; 50; 100; 200; 500; 1000; 2000; 5000; 20000 ] in
+  let header =
+    [ "event cyc"; "work"; "sw lanes"; "none"; "OoO-48"; "SMT-2"; "SMT-8"; "coro+PGO"; "OS thr" ]
+  in
+  Experiment.table ~title:"F1 (Figure 1): CPU efficiency vs event duration, fixed 12-cycle work"
+    ~note:
+      "pointer-chase events with 12 compute cycles between events (memory-bound shape); \
+       software rows scale concurrency with duration"
+    ~header
+    (List.map (f1_row ~work:12) durations);
+  Experiment.table
+    ~title:"F1b (Figure 1): CPU efficiency when per-event work scales with event duration"
+    ~note:
+      "work = max(12, event/8): the coarse-task regime where OS scheduling becomes viable at \
+       the long end"
+    ~header
+    (List.map (fun d -> f1_row ~work:(max 12 (d / 8)) d) durations)
+
+(* ------------------------------------------------------------------ *)
+(* C2 — context-switch costs: modeled cycles and real fiber switches.  *)
+(* ------------------------------------------------------------------ *)
+
+let fiber_switch_ns () =
+  let open Bechamel in
+  let test =
+    Test.make ~name:"ping-pong"
+      (Staged.stage (fun () -> Stallhide_fibers.Fiber.ping_pong ~rounds:100))
+  in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"fiber" [ test ]) in
+  let ols = Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |] in
+  let res = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Hashtbl.fold
+    (fun _name o acc ->
+      match Analyze.OLS.estimates o with Some (ns :: _) -> ns /. 200.0 | _ -> acc)
+    res nan
+
+let c2 () =
+  let ghz = 2.0 in
+  let model name cost = [ name; fi cost; ff (float_of_int cost /. ghz) ^ " ns" ] in
+  let fiber_ns = fiber_switch_ns () in
+  let rows =
+    [
+      model "OS process switch" (Switch_cost.cost Switch_cost.os_process ~live:None);
+      model "kernel thread switch" (Switch_cost.cost Switch_cost.kernel_thread ~live:None);
+      model "coroutine, full 16-reg save" (Switch_cost.cost Switch_cost.coroutine ~live:None);
+      model "coroutine, 4 live regs" (Switch_cost.cost Switch_cost.coroutine ~live:(Some 4));
+      model "coroutine, 2 live regs" (Switch_cost.cost Switch_cost.coroutine ~live:(Some 2));
+      [ "OCaml effects fiber (measured on host)"; "-"; ff fiber_ns ^ " ns" ];
+    ]
+  in
+  Experiment.table ~title:"C2: context-switch costs (model cycles @ 2 GHz; fiber measured)"
+    ~note:"the <10 ns coroutine-switch premise of the paper, cf. Boost fcontext 9 ns"
+    ~header:[ "mechanism"; "cycles"; "time" ] rows
+
+(* ------------------------------------------------------------------ *)
+(* C3 — recovering memory-stall cycles: none vs manual vs PGO.         *)
+(* ------------------------------------------------------------------ *)
+
+let c3_workload name ~lanes ~manual =
+  match name with
+  | "pointer-chase" -> chase ~lanes ~manual ~hops:300 ()
+  | "hash-probe" -> Hash_probe.make ~lanes ~manual ~table_slots:16384 ~ops:300 ~seed ()
+  | "btree" -> Btree.make ~lanes ~manual ~keys:16384 ~ops:150 ~seed ()
+  | _ -> assert false
+
+let c3 () =
+  List.iter
+    (fun name ->
+      let rows =
+        List.map
+          (fun lanes ->
+            let none = Baselines.run_sequential (c3_workload name ~lanes ~manual:false) in
+            let manual = Baselines.run_round_robin (c3_workload name ~lanes ~manual:true) in
+            let pgo, _ = Baselines.run_pgo (c3_workload name ~lanes ~manual:false) in
+            [
+              fi lanes;
+              ff ~decimals:3 none.Metrics.throughput;
+              ff ~decimals:3 manual.Metrics.throughput;
+              ff ~decimals:3 pgo.Metrics.throughput;
+              pct pgo.Metrics.efficiency;
+              ff (Metrics.speedup pgo none) ^ "x";
+            ])
+          [ 1; 2; 4; 8; 16; 32; 64 ]
+      in
+      Experiment.table
+        ~title:(Printf.sprintf "C3: throughput (ops/kcycle) vs concurrency — %s" name)
+        ~note:"none = sequential; manual = developer yields (CoroBase-style); PGO = this paper"
+        ~header:[ "coroutines"; "none"; "manual"; "PGO"; "PGO eff"; "PGO vs none" ]
+        rows)
+    [ "pointer-chase"; "hash-probe"; "btree" ]
+
+(* ------------------------------------------------------------------ *)
+(* C4 — sampling fidelity: precision/recall and throughput vs period.  *)
+(* ------------------------------------------------------------------ *)
+
+let c4 () =
+  let w () = Btree.make ~lanes:16 ~keys:16384 ~ops:200 ~seed () in
+  let oracle_set = List.sort_uniq compare (Pipeline.oracle_selection (w ())) in
+  let rows =
+    List.map
+      (fun scale ->
+        let config =
+          {
+            Pipeline.default_profile_config with
+            Pipeline.exec_period = 31 * scale;
+            miss_period = 17 * scale;
+            stall_period = 127 * scale;
+          }
+        in
+        let profiled = Pipeline.profile ~config (w ()) in
+        let est = Gain_cost.of_profile profiled.Pipeline.profile in
+        let selected =
+          Gain_cost.select Gain_cost.Cost_benefit Gain_cost.default_machine est
+            (w ()).Workload.program
+        in
+        let inter = List.filter (fun pc -> List.mem pc oracle_set) selected in
+        let precision =
+          if selected = [] then nan
+          else float_of_int (List.length inter) /. float_of_int (List.length selected)
+        in
+        let recall =
+          if oracle_set = [] then nan
+          else float_of_int (List.length inter) /. float_of_int (List.length oracle_set)
+        in
+        let metrics, _ = Baselines.run_pgo ~profile_config:config (w ()) in
+        [
+          fi (17 * scale);
+          fi profiled.Pipeline.samples;
+          pct
+            (float_of_int profiled.Pipeline.overhead_cycles
+            /. float_of_int (max 1 profiled.Pipeline.run_cycles));
+          pct precision;
+          pct recall;
+          ff ~decimals:3 metrics.Metrics.throughput;
+        ])
+      [ 1; 4; 16; 64; 256; 1024 ]
+  in
+  let none = Baselines.run_sequential (w ()) in
+  Experiment.table ~title:"C4: profile fidelity vs sampling period (btree, 16 lanes)"
+    ~note:
+      (Printf.sprintf
+         "oracle yield sites: %d; uninstrumented throughput %.3f ops/kcyc; precision/recall of \
+          cost-benefit site selection vs the same policy on full-trace estimates"
+         (List.length oracle_set) none.Metrics.throughput)
+    ~header:[ "miss period"; "samples"; "overhead"; "precision"; "recall"; "PGO tput" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* C5 — yield coalescing on independent adjacent loads (hash join).    *)
+(* ------------------------------------------------------------------ *)
+
+let c5 () =
+  let mk ?(manual = false) () = Hash_join.make ~lanes:16 ~build_rows:16384 ~ops:200 ~manual ~seed () in
+  let none = Baselines.run_sequential (mk ()) in
+  let manual = Baselines.run_round_robin ~label:"manual (expert coalesced)" (mk ~manual:true ()) in
+  let pgo_no, inst_no =
+    Baselines.run_pgo ~label:"PGO, coalescing off"
+      ~primary:{ Primary_pass.default_opts with Primary_pass.coalesce = false }
+      (mk ())
+  in
+  let pgo_co, inst_co = Baselines.run_pgo ~label:"PGO, coalescing on" (mk ()) in
+  let row (m : Metrics.t) sites =
+    [
+      m.Metrics.label;
+      ff ~decimals:3 m.Metrics.throughput;
+      pct m.Metrics.efficiency;
+      fi m.Metrics.switches;
+      fi m.Metrics.switch_cycles;
+      sites;
+    ]
+  in
+  Experiment.table ~title:"C5: yield coalescing (hash join, 4 independent loads per op)"
+    ~note:"coalescing hoists the batch's prefetches and amortizes one switch over 4 misses"
+    ~header:[ "mechanism"; "ops/kcyc"; "eff"; "switches"; "switch cyc"; "yield sites" ]
+    [
+      row none "-";
+      row manual "1/op";
+      row pgo_no (fi inst_no.Pipeline.primary.Primary_pass.yield_sites);
+      row pgo_co (fi inst_co.Pipeline.primary.Primary_pass.yield_sites);
+    ];
+  (* ablation: how much coalescing is enough? *)
+  let rows =
+    List.map
+      (fun max_group ->
+        let primary = { Primary_pass.default_opts with Primary_pass.max_group } in
+        let m, inst = Baselines.run_pgo ~primary (mk ()) in
+        [
+          fi max_group;
+          fi inst.Pipeline.primary.Primary_pass.yield_sites;
+          ff ~decimals:3 m.Metrics.throughput;
+          fi m.Metrics.switch_cycles;
+        ])
+      [ 1; 2; 4; 8 ]
+  in
+  Experiment.table ~title:"C5b: coalescing group-size cap (same hash join)"
+    ~note:"the kernel offers groups of 4 independent loads; larger caps change nothing"
+    ~header:[ "max group"; "yield sites"; "ops/kcyc"; "switch cyc" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* C6 — register-liveness save reduction.                              *)
+(* ------------------------------------------------------------------ *)
+
+let strip_liveness prog =
+  for pc = 0 to Program.length prog - 1 do
+    (Program.annot prog pc).Program.live_regs <- None
+  done
+
+let c6 () =
+  let rows =
+    List.map
+      (fun (name, mk) ->
+        let w : Workload.t = mk () in
+        let profiled = Pipeline.profile w in
+        let w', inst = Pipeline.instrument profiled w in
+        let with_lv = Baselines.run_round_robin ~label:"liveness" w' in
+        strip_liveness w'.Workload.program;
+        let without = Baselines.run_round_robin ~label:"full save" w' in
+        let avg_live =
+          let sites = ref 0 and sum = ref 0 in
+          Array.iteri
+            (fun pc i ->
+              match i with
+              | Instr.Yield _ | Instr.Yield_cond _ ->
+                  incr sites;
+                  ignore pc
+              | _ -> ())
+            (Program.code inst.Pipeline.program);
+          ignore sum;
+          !sites
+        in
+        ignore avg_live;
+        [
+          name;
+          ff ~decimals:3 without.Metrics.throughput;
+          ff ~decimals:3 with_lv.Metrics.throughput;
+          fi without.Metrics.switch_cycles;
+          fi with_lv.Metrics.switch_cycles;
+          ff (Metrics.speedup with_lv without) ^ "x";
+        ])
+      [
+        ("pointer-chase", fun () -> chase ~lanes:16 ());
+        ("hash-probe", fun () -> Hash_probe.make ~lanes:16 ~table_slots:16384 ~ops:300 ~seed ());
+        ("hash-join", fun () -> Hash_join.make ~lanes:16 ~build_rows:16384 ~ops:200 ~seed ());
+      ]
+  in
+  Experiment.table ~title:"C6: liveness-limited register save at yield sites"
+    ~note:"same instrumented binary, with and without the liveness annotation"
+    ~header:
+      [ "workload"; "tput full-save"; "tput liveness"; "switch cyc full"; "switch cyc live"; "speedup" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* Dual-mode helpers (C7, C8).                                          *)
+(* ------------------------------------------------------------------ *)
+
+type dual_setup = {
+  kv : Workload.t;  (** instrumented primary *)
+  scav : Workload.t;  (** instrumented scavengers *)
+}
+
+let make_dual ~interval () =
+  let im = Address_space.create ~bytes:(1 lsl 25) in
+  let kv = Kv_server.make ~image:im ~requests:1000 ~service_compute:30 ~seed () in
+  let scav = chase ~image:im ~lanes:8 ~hops:1500 ~compute:250 () in
+  let kvp = Pipeline.profile kv in
+  let kv', _ = Pipeline.instrument ~scavenger_interval:interval kvp kv in
+  let scp = Pipeline.profile scav in
+  let scav', _ = Pipeline.instrument ~scavenger_interval:interval scp scav in
+  { kv = kv'; scav = scav' }
+
+(* Symmetric round-robin over the same mixed contexts, for comparison. *)
+let run_symmetric { kv; scav } =
+  let counters = Stallhide_pmu.Counters.create () in
+  let recorder = Latency.recorder () in
+  let engine =
+    {
+      Engine.default_config with
+      Engine.hooks =
+        Events.compose [ Stallhide_pmu.Counters.hooks counters; Latency.hooks recorder ];
+    }
+  in
+  let kv_ctx = Workload.context kv ~lane:0 ~id:0 ~mode:Context.Primary in
+  let s_ctxs =
+    Array.init (Workload.lane_count scav) (fun l ->
+        Workload.context scav ~lane:l ~id:(l + 1) ~mode:Context.Primary)
+  in
+  let r =
+    Scheduler.run_round_robin ~engine ~switch:Switch_cost.coroutine
+      (Hierarchy.create Memconfig.default) kv.Workload.image
+      (Array.append [| kv_ctx |] s_ctxs)
+  in
+  let m =
+    Metrics.of_sched ~label:"symmetric RR" ~ops:counters.Stallhide_pmu.Counters.ops
+      ~latency:(Latency.summarize (Latency.all recorder))
+      r
+  in
+  (m, Latency.summarize (Latency.of_ctx recorder 0))
+
+let c7 () =
+  let alone =
+    let im = Address_space.create ~bytes:(1 lsl 25) in
+    Baselines.run_sequential ~label:"primary alone"
+      (Kv_server.make ~image:im ~requests:1000 ~service_compute:30 ~seed ())
+  in
+  let sym_m, sym_lat = run_symmetric (make_dual ~interval:200 ()) in
+  let ds = make_dual ~interval:200 () in
+  let dual = Baselines.run_dual ~label:"dual-mode (asymmetric)" ~primary:ds.kv ~scavengers:ds.scav () in
+  let lat_cols = function
+    | Some (s : Latency.summary) -> [ fi s.Latency.p50; fi s.Latency.p99 ]
+    | None -> [ "-"; "-" ]
+  in
+  let row label (m : Metrics.t) plat =
+    [ label; pct m.Metrics.efficiency; ff ~decimals:3 m.Metrics.throughput ] @ lat_cols plat
+  in
+  Experiment.table
+    ~title:"C7: asymmetric concurrency — KV primary + 8 batch scavengers"
+    ~note:
+      "dual-mode should keep primary latency near 'alone' while lifting efficiency near \
+       symmetric's"
+    ~header:[ "mechanism"; "total eff"; "total ops/kcyc"; "primary p50"; "primary p99" ]
+    [
+      row "primary alone" alone alone.Metrics.latency;
+      row "symmetric RR" sym_m sym_lat;
+      row "dual-mode (asymmetric)" dual.Baselines.metrics dual.Baselines.primary_latency;
+    ]
+
+let c8 () =
+  let rows =
+    List.map
+      (fun interval ->
+        let ds = make_dual ~interval () in
+        let d = Baselines.run_dual ~primary:ds.kv ~scavengers:ds.scav () in
+        let lat = d.Baselines.primary_latency in
+        let p50, p99 =
+          match lat with
+          | Some s -> (fi s.Latency.p50, fi s.Latency.p99)
+          | None -> ("-", "-")
+        in
+        [
+          fi interval;
+          p50;
+          p99;
+          pct d.Baselines.metrics.Metrics.efficiency;
+          fi d.Baselines.scavenger_switches;
+        ])
+      [ 50; 100; 150; 200; 250; 300; 400 ]
+  in
+  Experiment.table ~title:"C8: scavenger inter-yield interval controls the latency/efficiency knob"
+    ~note:"smaller target interval -> prompter return to the primary, more switches"
+    ~header:[ "target cyc"; "primary p50"; "primary p99"; "total eff"; "scav dispatches" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* C9 — instrumentation policy trade-off: hit-heavy vs miss-heavy.     *)
+(* ------------------------------------------------------------------ *)
+
+let c9 () =
+  let policies =
+    [
+      ("always", Gain_cost.Always);
+      ("threshold 0.1", Gain_cost.Threshold 0.1);
+      ("threshold 0.5", Gain_cost.Threshold 0.5);
+      ("threshold 0.9", Gain_cost.Threshold 0.9);
+      ("cost-benefit", Gain_cost.Cost_benefit);
+    ]
+  in
+  let workloads =
+    [
+      ( "hash-probe, L2-resident table (hit-heavy)",
+        fun () -> Hash_probe.make ~lanes:16 ~table_slots:256 ~ops:300 ~seed () );
+      ("array-scan (streaming, 1/8 miss)", fun () -> Array_scan.make ~lanes:16 ~block_words:64 ~ops:150 ~seed ());
+      ("pointer-chase (miss-heavy)", fun () -> chase ~lanes:16 ());
+    ]
+  in
+  List.iter
+    (fun (wname, mk) ->
+      let none = Baselines.run_sequential (mk ()) in
+      let rows =
+        List.map
+          (fun (pname, policy) ->
+            let primary = { Primary_pass.default_opts with Primary_pass.policy } in
+            let m, inst = Baselines.run_pgo ~primary (mk ()) in
+            [
+              pname;
+              fi inst.Pipeline.primary.Primary_pass.yield_sites;
+              ff ~decimals:3 m.Metrics.throughput;
+              pct m.Metrics.efficiency;
+              ff (Metrics.speedup m none) ^ "x";
+            ])
+          policies
+      in
+      Experiment.table
+        ~title:(Printf.sprintf "C9: yield-placement policy — %s" wname)
+        ~note:
+          (Printf.sprintf "uninstrumented: %.3f ops/kcyc; aggressive yields must not tax hits"
+             none.Metrics.throughput)
+        ~header:[ "policy"; "yield sites"; "ops/kcyc"; "eff"; "vs none" ]
+        rows)
+    workloads
+
+(* ------------------------------------------------------------------ *)
+(* C10 — SMT's bounded concurrency vs software coroutines.             *)
+(* ------------------------------------------------------------------ *)
+
+let c10 () =
+  let smt_rows =
+    List.map
+      (fun k ->
+        let m = Baselines.run_smt (chase ~lanes:k ()) in
+        [ Printf.sprintf "SMT-%d (hardware)" k; pct m.Metrics.efficiency ])
+      [ 1; 2; 4; 8 ]
+  in
+  let coro_rows =
+    List.map
+      (fun n ->
+        let m, _ = Baselines.run_pgo (chase ~lanes:n ()) in
+        [ Printf.sprintf "coroutines-%d (PGO)" n; pct m.Metrics.efficiency ])
+      [ 2; 4; 8; 16; 32; 64 ]
+  in
+  Experiment.table ~title:"C10: degrees of concurrency — SMT contexts vs software coroutines"
+    ~note:"2-8 hardware contexts cannot cover a ~200-cycle miss; software scales past it"
+    ~header:[ "mechanism"; "CPU efficiency" ]
+    (smt_rows @ coro_rows)
+
+(* ------------------------------------------------------------------ *)
+(* C11 — §4.1: hardware residency exposure (conditional yields).       *)
+(* ------------------------------------------------------------------ *)
+
+let c11 () =
+  (* Sweep the table footprint across the cache sizes so the slot-load
+     miss ratio goes from ~0 to ~1. *)
+  let rows =
+    List.map
+      (fun slots ->
+        let mk () = Hash_probe.make ~lanes:16 ~table_slots:slots ~ops:300 ~seed () in
+        let footprint_kb = slots * 64 / 1024 in
+        let none = Baselines.run_sequential (mk ()) in
+        let static =
+          let primary = { Primary_pass.default_opts with Primary_pass.policy = Gain_cost.Always } in
+          fst (Baselines.run_pgo ~primary (mk ()))
+        in
+        let cond =
+          let primary =
+            {
+              Primary_pass.default_opts with
+              Primary_pass.policy = Gain_cost.Always;
+              conditional = true;
+            }
+          in
+          fst (Baselines.run_pgo ~primary (mk ()))
+        in
+        let pgo = fst (Baselines.run_pgo (mk ())) in
+        [
+          fi footprint_kb ^ " KB";
+          ff ~decimals:3 none.Metrics.throughput;
+          ff ~decimals:3 static.Metrics.throughput;
+          ff ~decimals:3 cond.Metrics.throughput;
+          ff ~decimals:3 pgo.Metrics.throughput;
+        ])
+      [ 256; 1024; 4096; 16384; 65536 ]
+  in
+  Experiment.table
+    ~title:"C11: hardware residency exposure — static vs conditional yields (hash probe)"
+    ~note:
+      "conditional = yield only when the line is not in L1/L2 (needs the §4.1 hardware support); \
+       PGO = static placement from profiles (today's hardware)"
+    ~header:[ "table"; "none"; "static always"; "conditional"; "PGO cost-benefit" ]
+    rows
+
+
+(* ------------------------------------------------------------------ *)
+(* C12 — §4.2 scheduler integration for µs-scale tasks.                *)
+(* ------------------------------------------------------------------ *)
+
+let c12_tasks ~interarrival =
+  let open Stallhide_sched in
+  let im = Address_space.create ~bytes:(1 lsl 25) in
+  (* instrumented task kernels produced by the real pipeline *)
+  let kv = Kv_server.make ~image:im ~lanes:8 ~requests:30 ~service_compute:60 ~seed () in
+  let kv', _ = Pipeline.instrument ~scavenger_interval:150 (Pipeline.profile kv) kv in
+  let an = chase ~image:im ~lanes:24 ~nodes:512 ~hops:60 ~compute:150 () in
+  let an', _ = Pipeline.instrument ~scavenger_interval:150 (Pipeline.profile an) an in
+  let tasks = ref [] in
+  let next_id = ref 0 in
+  let add class_ w lane arrival =
+    let ctx = Workload.context w ~lane ~id:!next_id ~mode:Context.Primary in
+    tasks := Task.create ~id:!next_id ~class_ ~arrival ctx :: !tasks;
+    incr next_id
+  in
+  (* every 4th arrival is a latency-class KV task *)
+  let kv_lane = ref 0 and an_lane = ref 0 in
+  for i = 0 to 31 do
+    if i mod 4 = 0 && !kv_lane < 8 then begin
+      add Task.Latency kv' !kv_lane (i * interarrival);
+      incr kv_lane
+    end
+    else if !an_lane < 24 then begin
+      add Task.Batch an' !an_lane (i * interarrival);
+      incr an_lane
+    end
+  done;
+  (im, List.rev !tasks)
+
+let c12 () =
+  let open Stallhide_sched in
+  let rows =
+    List.concat_map
+      (fun interarrival ->
+        List.map
+          (fun policy ->
+            let im, tasks = c12_tasks ~interarrival in
+            let config = { Server.default_config with Server.policy; max_active = 12 } in
+            let r = Server.run ~config (Hierarchy.create Memconfig.default) im tasks in
+            let p xs q =
+              match xs with [] -> "-" | _ -> fi (Latency.percentile xs q)
+            in
+            [
+              fi interarrival;
+              Server.policy_name policy;
+              p r.Server.latency_sojourns 0.5;
+              p r.Server.latency_sojourns 0.99;
+              p r.Server.batch_sojourns 0.99;
+              pct (Server.efficiency r);
+              fi r.Server.cycles;
+            ])
+          [ Server.Run_to_completion; Server.Side_integration; Server.Event_aware ])
+      [ 500; 2000; 8000 ]
+  in
+  Experiment.table ~title:"C12: scheduler integration for short tasks (§4.2)"
+    ~note:
+      "32 open-loop tasks (25% latency-class KV, 75% batch analytics); side-integration = \
+       scheduler exposes its ready set to the hiding mechanism; event-aware = scheduler also \
+       classifies tasks (batch run as scavengers)"
+    ~header:
+      [ "interarrival"; "policy"; "lat p50"; "lat p99"; "batch p99"; "core eff"; "makespan" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+(* C13 — §4.2 coroutine isolation: SFI x stall hiding.                 *)
+(* ------------------------------------------------------------------ *)
+
+let c13 () =
+  let rows =
+    List.map
+      (fun (name, mk) ->
+        let base : Workload.t = mk () in
+        let sfi_prog, _, rep = Sfi_pass.run Sfi_pass.default_opts base.Workload.program in
+        let sandboxed w =
+          (* one protection domain per coroutine batch: the whole image *)
+          let hi = Address_space.capacity_bytes w.Workload.image in
+          fun (ctxs : Context.t array) ->
+            Array.iter (fun c -> c.Context.domain <- Some (0, hi)) ctxs;
+            ctxs
+        in
+        let run_plain w = Baselines.run_sequential w in
+        let run_sfi (w : Workload.t) =
+          let w = Workload.with_program w sfi_prog in
+          let counters = Stallhide_pmu.Counters.create () in
+          let engine =
+            { Engine.default_config with Engine.hooks = Stallhide_pmu.Counters.hooks counters }
+          in
+          let ctxs = sandboxed w (Workload.contexts w) in
+          let r = Scheduler.run_sequential ~engine (Hierarchy.create Memconfig.default) w.Workload.image ctxs in
+          Metrics.of_sched ~label:(name ^ "/sfi") ~ops:counters.Stallhide_pmu.Counters.ops r
+        in
+        let run_sfi_pgo (w : Workload.t) =
+          let w = Workload.with_program w sfi_prog in
+          let profiled = Pipeline.profile w in
+          let w', _ = Pipeline.instrument profiled w in
+          let counters = Stallhide_pmu.Counters.create () in
+          let engine =
+            { Engine.default_config with Engine.hooks = Stallhide_pmu.Counters.hooks counters }
+          in
+          let ctxs = sandboxed w' (Workload.contexts w') in
+          let r =
+            Scheduler.run_round_robin ~engine ~switch:Switch_cost.coroutine
+              (Hierarchy.create Memconfig.default) w'.Workload.image ctxs
+          in
+          Metrics.of_sched ~label:(name ^ "/sfi+pgo") ~ops:counters.Stallhide_pmu.Counters.ops r
+        in
+        let plain = run_plain (mk ()) in
+        let sfi = run_sfi (mk ()) in
+        let pgo, _ = Baselines.run_pgo (mk ()) in
+        let sfi_pgo = run_sfi_pgo (mk ()) in
+        let overhead a b = Printf.sprintf "%.1f%%" (100.0 *. ((b /. a) -. 1.0)) in
+        [
+          name;
+          fi rep.Sfi_pass.guards;
+          fi rep.Sfi_pass.elided;
+          overhead sfi.Metrics.throughput plain.Metrics.throughput;
+          overhead sfi_pgo.Metrics.throughput pgo.Metrics.throughput;
+          ff ~decimals:3 pgo.Metrics.throughput;
+          ff ~decimals:3 sfi_pgo.Metrics.throughput;
+        ])
+      [
+        ("pointer-chase", fun () -> chase ~lanes:16 ());
+        ("hash-probe", fun () -> Hash_probe.make ~lanes:16 ~table_slots:16384 ~ops:300 ~seed ());
+        ("btree", fun () -> Btree.make ~lanes:16 ~keys:16384 ~ops:150 ~seed ());
+      ]
+  in
+  Experiment.table ~title:"C13: software fault isolation x stall hiding (§4.2)"
+    ~note:
+      "guards are per-memory-access bounds checks; 'SFI tax' = slowdown SFI causes without and \
+       with stall hiding. Once stalls are hidden the checks no longer sit in a stall shadow, \
+       so isolation costs relatively more — but stays under a few percent"
+    ~header:
+      [ "workload"; "guards"; "elided"; "SFI tax alone"; "SFI tax w/ PGO"; "PGO"; "PGO+SFI" ]
+    rows
+
+
+(* ------------------------------------------------------------------ *)
+(* C14 — store-heavy analytics kernels (BFS, aggregation).             *)
+(* ------------------------------------------------------------------ *)
+
+let c14 () =
+  let rows =
+    List.map
+      (fun (name, mk) ->
+        let none = Baselines.run_sequential (mk false) in
+        let manual = Baselines.run_round_robin (mk true) in
+        let pgo, inst = Baselines.run_pgo (mk false) in
+        [
+          name;
+          ff ~decimals:3 none.Metrics.throughput;
+          ff ~decimals:3 manual.Metrics.throughput;
+          ff ~decimals:3 pgo.Metrics.throughput;
+          fi inst.Pipeline.primary.Primary_pass.yield_sites;
+          ff (Metrics.speedup pgo none) ^ "x";
+        ])
+      [
+        ( "graph-bfs (8 lanes)",
+          fun manual -> Graph_bfs.make ~manual ~lanes:8 ~vertices:16384 ~degree:4 ~seed () );
+        ( "group-by (8 lanes)",
+          fun manual -> Group_by.make ~manual ~lanes:8 ~groups:16384 ~tuples:600 ~seed () );
+      ]
+  in
+  Experiment.table ~title:"C14: store-mutating analytics kernels"
+    ~note:
+      "BFS visited flags and aggregation accumulators are load-modify-store; cooperative \
+       yields never split the read-modify-write, so results stay exact (checked in the tests)"
+    ~header:[ "workload"; "none"; "manual"; "PGO"; "yield sites"; "PGO vs none" ]
+    rows;
+  (* The cautionary counterpart: too many interleaved lanes thrash the
+     LLC and interleaving can lose — a contention effect outside the
+     paper's gain/cost model. *)
+  let rows2 =
+    List.map
+      (fun lanes ->
+        let mk () = Graph_bfs.make ~lanes ~vertices:8192 ~degree:4 ~seed () in
+        let none = Baselines.run_sequential (mk ()) in
+        let pgo, _ = Baselines.run_pgo (mk ()) in
+        [
+          fi lanes;
+          ff ~decimals:3 none.Metrics.throughput;
+          ff ~decimals:3 pgo.Metrics.throughput;
+          ff (Metrics.speedup pgo none) ^ "x";
+        ])
+      [ 2; 4; 8; 16 ]
+  in
+  Experiment.table ~title:"C14b: interleaving vs cache contention (graph-bfs, 8192 vertices)"
+    ~note:
+      "each lane adds ~96 KB of working set; past the LLC the interleaved lanes evict each \
+       other and the profile-guided gain inverts — a limit the paper's static gain/cost model \
+       does not see"
+    ~header:[ "lanes"; "none"; "PGO"; "PGO vs none" ]
+    rows2
+
+
+(* ------------------------------------------------------------------ *)
+(* C15 — onboard-accelerator operations (the other event class).       *)
+(* ------------------------------------------------------------------ *)
+
+let c15 () =
+  let rows =
+    List.concat_map
+      (fun accel_latency ->
+        let mem_cfg = { Memconfig.default with Memconfig.accel_latency } in
+        let opts = opts_with ~mem_cfg () in
+        let mk manual = Offload.make ~manual ~lanes:16 ~ops:300 ~overlap:24 ~seed () in
+        let none = Baselines.run_sequential ~opts (mk false) in
+        let manual = Baselines.run_round_robin ~opts (mk true) in
+        let pgo, _ = Baselines.run_pgo ~opts (mk false) in
+        let row (m : Metrics.t) =
+          [
+            fi accel_latency;
+            m.Metrics.label;
+            ff ~decimals:3 m.Metrics.throughput;
+            pct m.Metrics.efficiency;
+            pct (float_of_int m.Metrics.stall /. float_of_int (max 1 m.Metrics.cycles));
+          ]
+        in
+        [ row none; row manual; row pgo ])
+      [ 50; 150; 400 ]
+  in
+  Experiment.table ~title:"C15: hiding onboard-accelerator waits (offload kernel, 24-cycle overlap)"
+    ~note:
+      "the wait site has no load event; the pipeline finds it from STALL_CYCLES samples alone \
+       and hides it with a plain yield — the mechanism generalizes beyond cache misses"
+    ~header:[ "accel lat"; "mechanism"; "ops/kcyc"; "eff"; "stall%" ]
+    rows
+
+
+(* ------------------------------------------------------------------ *)
+(* C16 — §3.2 footnote: filtering front-end stalls out of the profile. *)
+(* ------------------------------------------------------------------ *)
+
+let c16 () =
+  (* A 2 KiB icache and an offload kernel whose unrolled body exceeds it:
+     every iteration front-end-stalls heavily, while the accelerator wait
+     never actually blocks (the body overlaps the full latency). The
+     generic stalled-cycles event cannot tell the difference. *)
+  let icache = Some { Memconfig.size_bytes = 2048; ways = 4; latency = 14 } in
+  let mem_cfg = { Memconfig.default with Memconfig.icache } in
+  let opts = opts_with ~mem_cfg () in
+  (* code_bloat chosen so the await lands on an icache line head: its
+     fetch miss is then attributed to the wait pc, the worst case for a
+     cause-blind profile *)
+  let mk () = Offload.make ~lanes:8 ~ops:200 ~overlap:170 ~code_bloat:604 ~seed () in
+  let rows =
+    List.map
+      (fun (label, frontend_period) ->
+        let config = { Pipeline.default_profile_config with Pipeline.frontend_period } in
+        let m, inst = Baselines.run_pgo ~opts ~profile_config:config (mk ()) in
+        let spurious =
+          List.exists
+            (fun pc ->
+              match Program.instr (mk ()).Workload.program pc with
+              | Instr.Accel_wait _ -> true
+              | _ -> false)
+            inst.Pipeline.primary.Primary_pass.selected
+        in
+        [
+          label;
+          fi inst.Pipeline.primary.Primary_pass.yield_sites;
+          (if spurious then "yes" else "no");
+          ff ~decimals:3 m.Metrics.throughput;
+          fi m.Metrics.switches;
+        ])
+      [ ("generic stall event only", None); ("+ FRONTEND_STALLS filter", Some 127) ]
+  in
+  let none = Baselines.run_sequential ~opts (mk ()) in
+  Experiment.table
+    ~title:"C16: cause-filtering the stall profile (icache-thrashing offload kernel)"
+    ~note:
+      (Printf.sprintf
+         "uninstrumented: %.3f ops/kcyc; the wait never blocks (170-cycle overlap vs 150 \
+          latency) but front-end stalls land on its pc; without the extra event the pipeline \
+          instruments a spurious site"
+         none.Metrics.throughput)
+    ~header:[ "profile"; "yield sites"; "spurious wait yield"; "ops/kcyc"; "switches" ]
+    rows
+
+
+(* ------------------------------------------------------------------ *)
+(* C17 — how cheap must switches be? (the paper's core premise)        *)
+(* ------------------------------------------------------------------ *)
+
+let c17 () =
+  let none = Baselines.run_sequential (chase ~lanes:16 ()) in
+  let rows =
+    List.map
+      (fun base ->
+        let switch = { Switch_cost.base; per_reg = (if base <= 22 then 1 else 0); full_regs = 16 } in
+        let opts = { Baselines.default_opts with Baselines.switch } in
+        let raw = Baselines.run_round_robin ~opts (chase ~lanes:16 ~manual:true ()) in
+        let machine =
+          {
+            Gain_cost.default_machine with
+            Gain_cost.switch_base = float_of_int base;
+            switch_per_reg = (if base <= 22 then 1.0 else 0.0);
+          }
+        in
+        let primary = { Primary_pass.default_opts with Primary_pass.machine } in
+        let pgo, inst = Baselines.run_pgo ~opts ~primary (chase ~lanes:16 ()) in
+        [
+          fi base;
+          ff (float_of_int base /. 2.0) ^ " ns";
+          ff ~decimals:3 raw.Metrics.throughput;
+          ff ~decimals:3 pgo.Metrics.throughput;
+          fi inst.Pipeline.primary.Primary_pass.yield_sites;
+          ff (Metrics.speedup pgo none) ^ "x";
+        ])
+      [ 2; 6; 22; 60; 100; 200; 400; 1200; 2000 ]
+  in
+  Experiment.table
+    ~title:"C17: sensitivity to context-switch cost (pointer chase, 16 coroutines)"
+    ~note:
+      (Printf.sprintf
+         "uninstrumented: %.3f ops/kcyc. 'raw' forces yields regardless of cost (manual \
+          program); 'model-aware' lets the gain/cost policy decide — it stops instrumenting \
+          once a switch round-trip exceeds the ~196-cycle stall, exactly the paper's \
+          kernel-thread argument"
+         none.Metrics.throughput)
+    ~header:[ "switch cyc"; "@2GHz"; "raw tput"; "model-aware tput"; "sites"; "vs none" ]
+    rows
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("F1", f1);
+    ("C2", c2);
+    ("C3", c3);
+    ("C4", c4);
+    ("C5", c5);
+    ("C6", c6);
+    ("C7", c7);
+    ("C8", c8);
+    ("C9", c9);
+    ("C10", c10);
+    ("C11", c11);
+    ("C12", c12);
+    ("C13", c13);
+    ("C14", c14);
+    ("C15", c15);
+    ("C16", c16);
+    ("C17", c17);
+  ]
+
+let () =
+  let requested = List.tl (Array.to_list Sys.argv) in
+  let selected =
+    match requested with
+    | [] -> experiments
+    | ids ->
+        List.filter (fun (id, _) -> List.exists (String.equal id) ids) experiments
+  in
+  if selected = [] then begin
+    prerr_endline "unknown experiment id; available:";
+    List.iter (fun (id, _) -> prerr_endline ("  " ^ id)) experiments;
+    exit 1
+  end;
+  List.iter
+    (fun (id, f) ->
+      let t0 = Unix.gettimeofday () in
+      f ();
+      Printf.printf "   [%s finished in %.1fs]\n%!" id (Unix.gettimeofday () -. t0))
+    selected

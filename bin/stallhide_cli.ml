@@ -1,0 +1,228 @@
+(* Command-line driver: profile / instrument / run the bundled
+   workloads under any mechanism.
+
+     stallhide_cli run --workload btree --mechanism pgo --lanes 16
+     stallhide_cli disasm --workload hash-join --instrument
+     stallhide_cli profile --workload pointer-chase *)
+
+open Cmdliner
+open Stallhide
+open Stallhide_binopt
+open Stallhide_workloads
+
+let workload_names =
+  [
+    "pointer-chase"; "hash-probe"; "btree"; "array-scan"; "hash-join"; "kv-server"; "graph-bfs";
+    "group-by"; "offload";
+  ]
+
+let make_workload name ~lanes ~ops ~manual ~seed =
+  match name with
+  | "pointer-chase" -> Pointer_chase.make ~manual ~lanes ~nodes_per_lane:2048 ~hops:ops ~seed ()
+  | "hash-probe" -> Hash_probe.make ~manual ~lanes ~table_slots:16384 ~ops ~seed ()
+  | "btree" -> Btree.make ~manual ~lanes ~keys:16384 ~ops ~seed ()
+  | "array-scan" -> Array_scan.make ~manual ~lanes ~block_words:64 ~ops ~seed ()
+  | "hash-join" -> Hash_join.make ~manual ~lanes ~build_rows:16384 ~ops ~seed ()
+  | "kv-server" -> Kv_server.make ~manual ~lanes ~requests:ops ~seed ()
+  | "graph-bfs" -> Graph_bfs.make ~manual ~lanes ~vertices:(ops * 32) ~degree:4 ~seed ()
+  | "group-by" -> Group_by.make ~manual ~lanes ~groups:16384 ~tuples:ops ~seed ()
+  | "offload" -> Offload.make ~manual ~lanes ~ops ~overlap:24 ~seed ()
+  | other -> invalid_arg ("unknown workload " ^ other)
+
+let policy_of_string = function
+  | "always" -> Gain_cost.Always
+  | "cost-benefit" -> Gain_cost.Cost_benefit
+  | s -> (
+      match float_of_string_opt s with
+      | Some t -> Gain_cost.Threshold t
+      | None -> invalid_arg "policy must be always | cost-benefit | <threshold float>")
+
+(* common options *)
+
+let workload_arg =
+  let doc = "Workload: " ^ String.concat " | " workload_names ^ "." in
+  Arg.(value & opt (enum (List.map (fun w -> (w, w)) workload_names)) "pointer-chase"
+       & info [ "w"; "workload" ] ~docv:"NAME" ~doc)
+
+let lanes_arg =
+  Arg.(value & opt int 16 & info [ "lanes" ] ~docv:"N" ~doc:"Concurrent lanes (coroutines).")
+
+let ops_arg =
+  Arg.(value & opt int 300 & info [ "ops" ] ~docv:"N" ~doc:"Operations per lane.")
+
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let policy_arg =
+  Arg.(value & opt string "cost-benefit"
+       & info [ "policy" ] ~docv:"POLICY" ~doc:"always | cost-benefit | <miss-prob threshold>.")
+
+let interval_arg =
+  Arg.(value & opt (some int) None
+       & info [ "scavenger-interval" ] ~docv:"CYCLES"
+           ~doc:"Run the scavenger pass with this target inter-yield interval.")
+
+(* run *)
+
+let mechanisms = [ "none"; "manual"; "pgo"; "smt"; "os-threads"; "ooo" ]
+
+let mechanism_arg =
+  let doc = "Mechanism: " ^ String.concat " | " mechanisms ^ "." in
+  Arg.(value & opt (enum (List.map (fun m -> (m, m)) mechanisms)) "pgo"
+       & info [ "m"; "mechanism" ] ~docv:"MECH" ~doc)
+
+let run_cmd =
+  let run workload mechanism lanes ops seed policy interval =
+    let w manual = make_workload workload ~lanes ~ops ~manual ~seed in
+    let metrics =
+      match mechanism with
+      | "none" -> Baselines.run_sequential (w false)
+      | "manual" -> Baselines.run_round_robin ~label:(workload ^ "/manual") (w true)
+      | "smt" -> Baselines.run_smt (w false)
+      | "ooo" -> Baselines.run_ooo ~window:48 (w false)
+      | "os-threads" ->
+          Baselines.run_round_robin ~label:(workload ^ "/os-threads")
+            ~opts:
+              { Baselines.default_opts with
+                Baselines.switch = Stallhide_runtime.Switch_cost.os_process }
+            (w true)
+      | "pgo" ->
+          let primary =
+            { Primary_pass.default_opts with Primary_pass.policy = policy_of_string policy }
+          in
+          let m, inst = Baselines.run_pgo ~primary ?scavenger_interval:interval (w false) in
+          Printf.printf "instrumentation: %d loads selected, %d yield sites, %d coalesced groups\n"
+            (List.length inst.Pipeline.primary.Primary_pass.selected)
+            inst.Pipeline.primary.Primary_pass.yield_sites
+            inst.Pipeline.primary.Primary_pass.coalesced_groups;
+          (match inst.Pipeline.scavenger with
+          | Some r ->
+              Printf.printf "scavenger pass: %d conditional yields, %d uncovered loops\n"
+                r.Scavenger_pass.inserted r.Scavenger_pass.uncovered_loops
+          | None -> ());
+          m
+      | other -> invalid_arg other
+    in
+    Format.printf "%a@." Metrics.pp metrics
+  in
+  let term =
+    Term.(
+      const run $ workload_arg $ mechanism_arg $ lanes_arg $ ops_arg $ seed_arg $ policy_arg
+      $ interval_arg)
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run a workload under a stall-hiding mechanism and print metrics.")
+    term
+
+(* disasm *)
+
+let disasm_cmd =
+  let disasm workload lanes ops seed instrument profile_file policy interval =
+    let w = make_workload workload ~lanes ~ops ~manual:false ~seed in
+    if instrument then begin
+      let primary =
+        { Primary_pass.default_opts with Primary_pass.policy = policy_of_string policy }
+      in
+      let inst =
+        match profile_file with
+        | Some path ->
+            (* apply a previously saved profile: the offline-build half
+               of the AutoFDO-style flow *)
+            let ic = open_in path in
+            let len = in_channel_length ic in
+            let text = really_input_string ic len in
+            close_in ic;
+            let profile = Stallhide_pmu.Profile.load ~program:w.Workload.program text in
+            let estimates = Gain_cost.of_profile profile in
+            let pc_cycles pc = Stallhide_pmu.Profile.pc_cycles profile pc in
+            let wait_stalls pc = Stallhide_pmu.Profile.stalls_at profile pc in
+            Pipeline.instrument_with ~estimates ~pc_cycles ~wait_stalls ~primary
+              ?scavenger_interval:interval w.Workload.program
+        | None ->
+            let profiled = Pipeline.profile w in
+            snd (Pipeline.instrument ~primary ?scavenger_interval:interval profiled w)
+      in
+      Format.printf "%a" Stallhide_isa.Program.pp inst.Pipeline.program
+    end
+    else Format.printf "%a" Stallhide_isa.Program.pp w.Workload.program
+  in
+  let instrument_arg =
+    Arg.(value & flag & info [ "instrument" ] ~doc:"Show the profile-instrumented binary.")
+  in
+  let profile_file_arg =
+    Arg.(value & opt (some string) None
+         & info [ "profile" ] ~docv:"FILE" ~doc:"Instrument from a saved profile instead of re-profiling.")
+  in
+  let term =
+    Term.(
+      const disasm $ workload_arg $ lanes_arg $ ops_arg $ seed_arg $ instrument_arg
+      $ profile_file_arg $ policy_arg $ interval_arg)
+  in
+  Cmd.v (Cmd.info "disasm" ~doc:"Print a workload's program, optionally after instrumentation.")
+    term
+
+(* trace *)
+
+let trace_cmd =
+  let trace workload lanes ops seed interval width cycles =
+    let w = make_workload workload ~lanes ~ops ~manual:false ~seed in
+    let profiled = Pipeline.profile w in
+    let w', _ = Pipeline.instrument ?scavenger_interval:interval profiled w in
+    let tracer = Stallhide_runtime.Tracer.create () in
+    let ctxs = Workload.contexts w' in
+    let (_ : Stallhide_runtime.Scheduler.result) =
+      Stallhide_runtime.Scheduler.run_round_robin ~tracer ~max_cycles:cycles
+        ~switch:Stallhide_runtime.Switch_cost.coroutine
+        (Stallhide_mem.Hierarchy.create Stallhide_mem.Memconfig.default)
+        w'.Workload.image ctxs
+    in
+    print_string (Stallhide_runtime.Tracer.render ~width tracer)
+  in
+  let width_arg =
+    Arg.(value & opt int 100 & info [ "width" ] ~docv:"COLS" ~doc:"Chart width in columns.")
+  in
+  let cycles_arg =
+    Arg.(value & opt int 5000 & info [ "cycles" ] ~docv:"N" ~doc:"Simulated cycles to trace.")
+  in
+  let term =
+    Term.(
+      const trace $ workload_arg $ lanes_arg $ ops_arg $ seed_arg $ interval_arg $ width_arg
+      $ cycles_arg)
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Draw an ASCII execution timeline of the instrumented workload under round-robin.")
+    term
+
+(* profile *)
+
+let profile_cmd =
+  let profile workload lanes ops seed output =
+    let w = make_workload workload ~lanes ~ops ~manual:false ~seed in
+    let profiled = Pipeline.profile w in
+    Printf.printf "profiling run: %d cycles, %d samples (est. overhead %.2f%%)\n"
+      profiled.Pipeline.run_cycles profiled.Pipeline.samples
+      (100.0
+      *. float_of_int profiled.Pipeline.overhead_cycles
+      /. float_of_int (max 1 profiled.Pipeline.run_cycles));
+    Format.printf "%a" Stallhide_pmu.Profile.pp_summary profiled.Pipeline.profile;
+    match output with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Stallhide_pmu.Profile.save profiled.Pipeline.profile);
+        close_out oc;
+        Printf.printf "profile written to %s\n" path
+  in
+  let output_arg =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Persist the profile (AutoFDO-style).")
+  in
+  let term = Term.(const profile $ workload_arg $ lanes_arg $ ops_arg $ seed_arg $ output_arg) in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Run sample-based profiling, print the per-load estimates, optionally save them.")
+    term
+
+let () =
+  let doc = "hide L2/L3-miss stalls in software: coroutines + profile-guided yields" in
+  let info = Cmd.info "stallhide" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; disasm_cmd; profile_cmd; trace_cmd ]))

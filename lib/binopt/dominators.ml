@@ -1,0 +1,123 @@
+open Stallhide_isa
+
+type t = { idom_arr : int array; rpo_index : int array; unreachable_blocks : int list }
+
+(* Reverse postorder over the CFG from the entry block. *)
+let rpo cfg =
+  let nb = Cfg.block_count cfg in
+  let visited = Array.make nb false in
+  let order = ref [] in
+  let rec dfs b =
+    if not visited.(b) then begin
+      visited.(b) <- true;
+      List.iter dfs (Cfg.block cfg b).Cfg.succs;
+      order := b :: !order
+    end
+  in
+  dfs 0;
+  (!order, visited)
+
+let compute cfg =
+  let nb = Cfg.block_count cfg in
+  let order, visited = rpo cfg in
+  let rpo_index = Array.make nb max_int in
+  List.iteri (fun i b -> rpo_index.(b) <- i) order;
+  let idom_arr = Array.make nb (-1) in
+  idom_arr.(0) <- 0;
+  let intersect a b =
+    let a = ref a and b = ref b in
+    while !a <> !b do
+      while rpo_index.(!a) > rpo_index.(!b) do
+        a := idom_arr.(!a)
+      done;
+      while rpo_index.(!b) > rpo_index.(!a) do
+        b := idom_arr.(!b)
+      done
+    done;
+    !a
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun b ->
+        if b <> 0 then begin
+          let preds =
+            List.filter (fun p -> visited.(p) && idom_arr.(p) >= 0) (Cfg.block cfg b).Cfg.preds
+          in
+          match preds with
+          | [] -> ()
+          | first :: rest ->
+              let new_idom = List.fold_left intersect first rest in
+              if idom_arr.(b) <> new_idom then begin
+                idom_arr.(b) <- new_idom;
+                changed := true
+              end
+        end)
+      order
+  done;
+  let unreachable_blocks =
+    List.filter (fun b -> not visited.(b)) (List.init nb Fun.id)
+  in
+  (* unreachable blocks dominate only themselves *)
+  List.iter (fun b -> idom_arr.(b) <- b) unreachable_blocks;
+  { idom_arr; rpo_index; unreachable_blocks }
+
+let idom t b = t.idom_arr.(b)
+
+let dominates t a b =
+  let rec up x = if x = a then true else if x = t.idom_arr.(x) then x = a else up t.idom_arr.(x) in
+  up b
+
+let unreachable t = t.unreachable_blocks
+
+type loop = { header : int; back_edge_src : int; body : int list }
+
+let natural_loops cfg t =
+  let loops = ref [] in
+  for src = 0 to Cfg.block_count cfg - 1 do
+    List.iter
+      (fun header ->
+        if
+          (not (List.mem src t.unreachable_blocks))
+          && dominates t header src
+        then begin
+          (* body = header plus everything that reaches src without
+             passing through header *)
+          let body = Hashtbl.create 8 in
+          Hashtbl.replace body header ();
+          let rec pull b =
+            if not (Hashtbl.mem body b) then begin
+              Hashtbl.replace body b ();
+              List.iter pull (Cfg.block cfg b).Cfg.preds
+            end
+          in
+          pull src;
+          loops :=
+            {
+              header;
+              back_edge_src = src;
+              body = List.sort compare (Hashtbl.fold (fun b () acc -> b :: acc) body []);
+            }
+            :: !loops
+        end)
+      (Cfg.block cfg src).Cfg.succs
+  done;
+  List.rev !loops
+
+let unyielded_loops cfg =
+  let prog = Cfg.program cfg in
+  let t = compute cfg in
+  let has_yield b =
+    let blk = Cfg.block cfg b in
+    let rec scan pc =
+      pc <= blk.Cfg.last
+      && (match Program.instr prog pc with
+         | Instr.Yield _ | Instr.Yield_cond _ -> true
+         | _ -> scan (pc + 1))
+    in
+    scan blk.Cfg.first
+  in
+  List.filter
+    (fun l -> not (List.exists has_yield l.body))
+    (natural_loops cfg t)

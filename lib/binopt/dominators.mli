@@ -1,0 +1,36 @@
+(** Dominator tree and natural-loop detection — the standard binary-
+    optimizer analyses backing the worst-case side of the scavenger
+    pass: every cycle in the CFG must contain a yield or the inter-yield
+    interval is unbounded.
+
+    Immediate dominators are computed with the Cooper–Harvey–Kennedy
+    iterative algorithm over a reverse-postorder numbering. *)
+
+type t
+
+val compute : Cfg.t -> t
+
+(** Immediate dominator of block [b]; the entry block (and any
+    unreachable block) maps to itself. *)
+val idom : t -> int -> int
+
+(** [dominates t a b]: does block [a] dominate block [b]? *)
+val dominates : t -> int -> int -> bool
+
+(** Blocks unreachable from the entry. *)
+val unreachable : t -> int list
+
+type loop = {
+  header : int;  (** the block the back edge targets *)
+  back_edge_src : int;
+  body : int list;  (** blocks in the natural loop, header included, sorted *)
+}
+
+(** Natural loops: one per back edge [src -> header] where [header]
+    dominates [src]. *)
+val natural_loops : Cfg.t -> t -> loop list
+
+(** Pcs of natural-loop bodies that contain no yield of any kind —
+    cycles whose inter-yield interval is unbounded. Used to verify
+    scavenger-pass coverage. *)
+val unyielded_loops : Cfg.t -> loop list

@@ -1,0 +1,69 @@
+open Stallhide_isa
+open Stallhide_util
+
+type t = { live_in_arr : int array; live_out_arr : int array }
+
+let compute cfg =
+  let prog = Cfg.program cfg in
+  let n = Program.length prog in
+  let nb = Cfg.block_count cfg in
+  (* Block-level use/def. *)
+  let buse = Array.make nb 0 and bdef = Array.make nb 0 in
+  for id = 0 to nb - 1 do
+    let b = Cfg.block cfg id in
+    let use = ref 0 and def = ref 0 in
+    for pc = b.Cfg.first to b.Cfg.last do
+      let i = Program.instr prog pc in
+      use := !use lor Bits.diff (Instr.uses i) !def;
+      def := !def lor Instr.defs i
+    done;
+    buse.(id) <- !use;
+    bdef.(id) <- !def
+  done;
+  let bin = Array.make nb 0 and bout = Array.make nb 0 in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for id = nb - 1 downto 0 do
+      let b = Cfg.block cfg id in
+      let out = List.fold_left (fun acc s -> acc lor bin.(s)) 0 b.Cfg.succs in
+      let inn = buse.(id) lor Bits.diff out bdef.(id) in
+      if out <> bout.(id) || inn <> bin.(id) then begin
+        bout.(id) <- out;
+        bin.(id) <- inn;
+        changed := true
+      end
+    done
+  done;
+  (* Per-instruction sets by walking each block backwards. *)
+  let live_in_arr = Array.make n 0 and live_out_arr = Array.make n 0 in
+  for id = 0 to nb - 1 do
+    let b = Cfg.block cfg id in
+    let live = ref bout.(id) in
+    for pc = b.Cfg.last downto b.Cfg.first do
+      let i = Program.instr prog pc in
+      live_out_arr.(pc) <- !live;
+      live := Instr.uses i lor Bits.diff !live (Instr.defs i);
+      live_in_arr.(pc) <- !live
+    done
+  done;
+  { live_in_arr; live_out_arr }
+
+let live_out t pc = t.live_out_arr.(pc)
+
+let live_in t pc = t.live_in_arr.(pc)
+
+let regs_to_save t pc = Bits.popcount t.live_out_arr.(pc)
+
+let annotate_yields prog =
+  let cfg = Cfg.build prog in
+  let lv = compute cfg in
+  for pc = 0 to Program.length prog - 1 do
+    match Program.instr prog pc with
+    | Instr.Yield _ | Instr.Yield_cond _ ->
+        (Program.annot prog pc).Program.live_regs <- Some (regs_to_save lv pc)
+    | Instr.Binop _ | Instr.Mov _ | Instr.Load _ | Instr.Store _ | Instr.Prefetch _
+    | Instr.Branch _ | Instr.Jump _ | Instr.Call _ | Instr.Ret | Instr.Guard _
+    | Instr.Accel_issue _ | Instr.Accel_wait _ | Instr.Opmark | Instr.Nop | Instr.Halt ->
+        ()
+  done

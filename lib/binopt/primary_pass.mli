@@ -1,0 +1,49 @@
+(** Primary yield instrumentation (§3.2, step ii).
+
+    For each load selected by the gain/cost policy, inserts
+    [prefetch; yield] immediately before it, so the coroutine starts the
+    fill and relinquishes the core while the line travels. With
+    [coalesce] on, independent adjacent selected loads (per {!Depend})
+    share a single yield: all their prefetches are hoisted to the group
+    head. With [conditional] on, a [Yield_cond] is emitted instead —
+    the §4.1 hardware-supported variant that tests residency first
+    (conditional sites are not coalesced).
+
+    After rewriting, yield sites are liveness-annotated so the runtime
+    charges the reduced switch cost. *)
+
+open Stallhide_isa
+
+type opts = {
+  policy : Gain_cost.policy;
+  machine : Gain_cost.machine;
+  coalesce : bool;
+  max_group : int;
+  conditional : bool;
+  accel_waits : bool;
+      (** also place a yield before every [Accel_wait] the profile saw
+          stalling ([stalls_at] via [wait_stalls]); the operation is
+          already in flight, so no prefetch is needed (default true) *)
+}
+
+val default_opts : opts
+
+type report = {
+  selected : int list;
+      (** chosen sites in *original* program coordinates: the loads the
+          policy picked (ascending), followed by any accelerator-wait
+          sites *)
+  yield_sites : int;  (** yields actually inserted *)
+  coalesced_groups : int;  (** groups of >= 2 loads sharing one yield *)
+}
+
+(** Returns the instrumented program, the orig-of-new pc map, and the
+    report. [wait_stalls pc] reports profiled stall cycles at an
+    [Accel_wait] (defaults to "always stalling" so [Always] covers
+    accelerator code without a profile). *)
+val run :
+  ?wait_stalls:(int -> int) ->
+  opts ->
+  Gain_cost.estimates ->
+  Program.t ->
+  Program.t * int array * report

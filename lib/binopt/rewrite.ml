@@ -1,0 +1,26 @@
+open Stallhide_isa
+open Stallhide_util
+
+let insert_before prog f =
+  let items = Program.to_items prog in
+  let out = ref [] in
+  let map = Vec.create () in
+  let pc = ref 0 in
+  List.iter
+    (fun item ->
+      match item with
+      | Program.Label _ -> out := item :: !out
+      | Program.Ins i ->
+          List.iter
+            (fun extra ->
+              out := Program.Ins extra :: !out;
+              Vec.push map !pc)
+            (f !pc);
+          out := Program.Ins i :: !out;
+          Vec.push map !pc;
+          incr pc)
+    items;
+  (Program.assemble (List.rev !out), Vec.to_array map)
+
+let compose outer inner =
+  Array.map (fun orig -> if orig < 0 || orig >= Array.length inner then -1 else inner.(orig)) outer

@@ -1,0 +1,19 @@
+(** Label-preserving binary rewriting.
+
+    Inserted instructions are placed *after* any labels marking the
+    insertion point, so control transfers into the point execute the
+    inserted code — the behaviour a binary optimizer gets by rewriting a
+    basic block in place. *)
+
+open Stallhide_isa
+
+(** [insert_before prog f] inserts [f pc] before the instruction at
+    each original [pc]. Returns the new program and a map
+    [orig_of_new : new_pc -> original pc] where inserted instructions
+    map to the pc they precede (so profile lookups keyed by original
+    pcs keep working across passes). *)
+val insert_before : Program.t -> (int -> Instr.t list) -> Program.t * int array
+
+(** Compose two orig-of-new maps: [compose outer inner] maps pcs of the
+    newest program to pcs of the oldest. *)
+val compose : int array -> int array -> int array

@@ -1,0 +1,110 @@
+open Stallhide_isa
+open Stallhide_cpu
+
+type opts = {
+  target_interval : int;
+  pc_cycles : int -> float option;
+  load_static_latency : int;
+}
+
+let default_opts =
+  { target_interval = 200; pc_cycles = (fun _ -> None); load_static_latency = 4 }
+
+type report = { inserted : int; sites : int list; uncovered_loops : int }
+
+let run opts prog =
+  if opts.target_interval <= 0 then invalid_arg "Scavenger_pass: target_interval must be positive";
+  let cfg = Cfg.build prog in
+  let nb = Cfg.block_count cfg in
+  let target = float_of_int opts.target_interval in
+  let cost pc =
+    match opts.pc_cycles pc with
+    | Some c -> c
+    | None ->
+        let i = Program.instr prog pc in
+        let static = Cost.base i + if Instr.is_load i then opts.load_static_latency else 0 in
+        float_of_int static
+  in
+  let planned = Hashtbl.create 32 in
+  (* Cooperative atomicity: code written for coroutines relies on no
+     yield occurring between a load and the store that completes its
+     read-modify-write. Mark the pcs strictly inside such windows
+     (same base register and displacement, base not redefined) so the
+     planner defers insertion past the store. *)
+  let no_insert = Array.make (Program.length prog) false in
+  for id = 0 to nb - 1 do
+    let b = Cfg.block cfg id in
+    let open_windows : (int * int, int) Hashtbl.t = Hashtbl.create 4 in
+    for pc = b.Cfg.first to b.Cfg.last do
+      (match Program.instr prog pc with
+      | Instr.Load (_, rs, disp) -> Hashtbl.replace open_windows (rs, disp) pc
+      | Instr.Store (rs, disp, _) -> (
+          match Hashtbl.find_opt open_windows (rs, disp) with
+          | Some start ->
+              for k = start + 1 to pc do
+                no_insert.(k) <- true
+              done;
+              Hashtbl.remove open_windows (rs, disp)
+          | None -> ())
+      | Instr.Yield _ | Instr.Yield_cond _ -> Hashtbl.reset open_windows
+      | i ->
+          (* a redefined base breaks the window *)
+          Hashtbl.iter
+            (fun (rs, d) _ ->
+              if Instr.defs i land (1 lsl rs) <> 0 then Hashtbl.remove open_windows (rs, d))
+            (Hashtbl.copy open_windows))
+    done
+  done;
+  let dist_out = Array.make nb 0.0 in
+  (* Walk a block with incoming distance [d0], greedily planning a yield
+     before any instruction that would push the distance past target.
+     Existing yields and planned yields reset the distance. *)
+  let walk_block plan b d0 =
+    let d = ref d0 in
+    let first = b.Cfg.first and last = b.Cfg.last in
+    for pc = first to last do
+      if Hashtbl.mem planned pc then d := 0.0;
+      match Program.instr prog pc with
+      | Instr.Yield _ | Instr.Yield_cond _ -> d := 0.0
+      | _ ->
+          let c = cost pc in
+          if
+            plan && !d +. c > target
+            && (not (Hashtbl.mem planned pc))
+            && not no_insert.(pc)
+          then begin
+            Hashtbl.replace planned pc ();
+            d := c
+          end
+          else d := !d +. c
+    done;
+    !d
+  in
+  (* Fixpoint: incoming distance of a block is the max over predecessor
+     outgoing distances. The planned set only grows, so this terminates;
+     cap iterations defensively. *)
+  let max_iters = (2 * nb) + 8 in
+  let iter = ref 0 in
+  let changed = ref true in
+  while !changed && !iter < max_iters do
+    changed := false;
+    incr iter;
+    for id = 0 to nb - 1 do
+      let b = Cfg.block cfg id in
+      let d0 = List.fold_left (fun acc p -> max acc dist_out.(p)) 0.0 b.Cfg.preds in
+      let before = Hashtbl.length planned in
+      let out = walk_block true b d0 in
+      if Hashtbl.length planned <> before || abs_float (out -. dist_out.(id)) > 1e-9 then begin
+        dist_out.(id) <- out;
+        changed := true
+      end
+    done
+  done;
+  let sites = List.sort compare (Hashtbl.fold (fun pc () acc -> pc :: acc) planned []) in
+  let prog', map =
+    Rewrite.insert_before prog (fun pc ->
+        if Hashtbl.mem planned pc then [ Instr.Yield Instr.Scavenger ] else [])
+  in
+  Liveness.annotate_yields prog';
+  let uncovered_loops = List.length (Dominators.unyielded_loops (Cfg.build prog')) in
+  (prog', map, { inserted = List.length sites; sites; uncovered_loops })

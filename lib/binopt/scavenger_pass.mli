@@ -1,0 +1,40 @@
+(** Scavenger yield instrumentation (§3.3).
+
+    Places *conditional* yields so that, along any execution path, the
+    distance between consecutive yield points is approximately
+    [target_interval] cycles — bounded but long enough to cover an
+    L2/L3 miss. Per the paper, the per-instruction latency estimate
+    comes from LBR profiles when available ([pc_cycles]), with a static
+    base-cost fallback bounding the worst case; the planner runs a
+    distance dataflow over the CFG to a fixpoint, treating every
+    existing yield (primary or scavenger) as a reset.
+
+    The pass preserves {e cooperative atomicity}: it never inserts a
+    yield between a load and the store that completes its
+    read-modify-write of the same address (coroutine code relies on
+    runs between yields being atomic), deferring the yield past the
+    store instead.
+
+    Runs after the primary pass; [pc_cycles] is queried with *current*
+    program pcs (compose with the rewrite map as needed). *)
+
+open Stallhide_isa
+
+type opts = {
+  target_interval : int;  (** desired inter-yield distance, cycles *)
+  pc_cycles : int -> float option;  (** LBR estimate per execution of a pc *)
+  load_static_latency : int;  (** static fallback added to a load's base cost *)
+}
+
+val default_opts : opts
+
+type report = {
+  inserted : int;
+  sites : int list;  (** pcs (pre-rewrite coordinates) that received a yield *)
+  uncovered_loops : int;
+      (** natural loops still lacking any yield after the pass — such a
+          cycle has an unbounded inter-yield interval, so a nonzero
+          count means the pass failed to bound the worst case *)
+}
+
+val run : opts -> Program.t -> Program.t * int array * report

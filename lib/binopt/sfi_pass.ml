@@ -1,0 +1,63 @@
+open Stallhide_isa
+open Stallhide_util
+
+type opts = { guard_loads : bool; guard_stores : bool; eliminate_redundant : bool }
+
+let default_opts = { guard_loads = true; guard_stores = true; eliminate_redundant = true }
+
+type report = { guards : int; elided : int }
+
+let run opts prog =
+  let cfg = Cfg.build prog in
+  let nb = Cfg.block_count cfg in
+  let insertions : (int, Instr.t list) Hashtbl.t = Hashtbl.create 64 in
+  let guards = ref 0 in
+  let elided = ref 0 in
+  (* Exit coverage of each processed block, for linear-chain
+     propagation: a block with a unique already-processed predecessor
+     inherits its coverage (loops contribute nothing — their back-edge
+     predecessor is unprocessed, so entry coverage stays empty). *)
+  let exit_cov : (int * int, unit) Hashtbl.t option array = Array.make nb None in
+  for id = 0 to nb - 1 do
+    let b = Cfg.block cfg id in
+    let covered : (int * int, unit) Hashtbl.t =
+      match b.Cfg.preds with
+      | [ p ] when p < id -> (
+          match exit_cov.(p) with Some c -> Hashtbl.copy c | None -> Hashtbl.create 8)
+      | _ -> Hashtbl.create 8
+    in
+    let key rs disp = (rs, disp asr 6) in
+    let invalidate_reg r =
+      Hashtbl.iter (fun (rs, d) () -> if rs = r then Hashtbl.remove covered (rs, d)) covered
+    in
+    let invalidate_defs i = Bits.fold (fun r () -> invalidate_reg r) (Instr.defs i) () in
+    let want rs disp pc =
+      if opts.eliminate_redundant && Hashtbl.mem covered (key rs disp) then incr elided
+      else begin
+        incr guards;
+        Hashtbl.replace covered (key rs disp) ();
+        Hashtbl.replace insertions pc [ Instr.Guard (rs, disp) ]
+      end
+    in
+    for pc = b.Cfg.first to b.Cfg.last do
+      let i = Program.instr prog pc in
+      (match i with
+      | Instr.Load (_, rs, disp) | Instr.Accel_issue (rs, disp) ->
+          if opts.guard_loads then want rs disp pc
+      | Instr.Store (rs, disp, _) -> if opts.guard_stores then want rs disp pc
+      | Instr.Call _ ->
+          (* the callee may clobber anything *)
+          Hashtbl.reset covered
+      | Instr.Binop _ | Instr.Mov _ | Instr.Prefetch _ | Instr.Branch _ | Instr.Jump _
+      | Instr.Ret | Instr.Yield _ | Instr.Yield_cond _ | Instr.Guard _ | Instr.Accel_wait _
+      | Instr.Opmark | Instr.Nop | Instr.Halt ->
+          ());
+      invalidate_defs i
+    done;
+    exit_cov.(id) <- Some covered
+  done;
+  let prog', map =
+    Rewrite.insert_before prog (fun pc ->
+        match Hashtbl.find_opt insertions pc with Some l -> l | None -> [])
+  in
+  (prog', map, { guards = !guards; elided = !elided })

@@ -1,0 +1,32 @@
+(** Software-based fault isolation (§4.2).
+
+    Establishes a logical protection domain by inserting a [Guard]
+    (dynamic bounds check against the executing context's domain)
+    before memory instructions — the classic Wahbe-style SFI transform,
+    done at the binary level like the yield passes.
+
+    A local redundancy optimization elides a guard when an address on
+    the same 64-byte line off the same (unredefined) base register was
+    already guarded earlier in the block. This is sound because
+    protection domains are line-aligned (as {!Stallhide_mem.Address_space}
+    allocation guarantees): if one address of a line is in a
+    line-aligned domain, the whole line is. Calls invalidate coverage;
+    yields do not — the coroutine's own domain cannot change while it
+    is suspended. *)
+
+open Stallhide_isa
+
+type opts = {
+  guard_loads : bool;
+  guard_stores : bool;
+  eliminate_redundant : bool;
+}
+
+val default_opts : opts
+
+type report = {
+  guards : int;  (** checks inserted *)
+  elided : int;  (** checks removed as locally redundant *)
+}
+
+val run : opts -> Program.t -> Program.t * int array * report

@@ -1,0 +1,118 @@
+open Stallhide_cpu
+open Stallhide_mem
+open Stallhide_pmu
+open Stallhide_runtime
+open Stallhide_workloads
+
+type opts = {
+  mem_cfg : Memconfig.t;
+  switch : Switch_cost.t;
+  engine : Engine.config;
+  max_cycles : int;
+}
+
+let default_opts =
+  {
+    mem_cfg = Memconfig.default;
+    switch = Switch_cost.coroutine;
+    engine = Engine.default_config;
+    max_cycles = max_int;
+  }
+
+(* Counters + latency recorder composed onto the caller's hooks. *)
+let instrumented_engine opts =
+  let counters = Counters.create () in
+  let recorder = Latency.recorder () in
+  let hooks =
+    Events.compose [ opts.engine.Engine.hooks; Counters.hooks counters; Latency.hooks recorder ]
+  in
+  (counters, recorder, { opts.engine with Engine.hooks = hooks })
+
+let run_sequential ?label ?(opts = default_opts) w =
+  let counters, recorder, engine = instrumented_engine opts in
+  let hier = Hierarchy.create opts.mem_cfg in
+  let ctxs = Workload.contexts w in
+  let r = Scheduler.run_sequential ~engine ~max_cycles:opts.max_cycles hier w.Workload.image ctxs in
+  let label = match label with Some l -> l | None -> w.Workload.name ^ "/none" in
+  Metrics.of_sched ~label ~ops:counters.Counters.ops
+    ~latency:(Latency.summarize (Latency.all recorder))
+    r
+
+let run_ooo ?label ?(opts = default_opts) ~window w =
+  let opts = { opts with engine = { opts.engine with Engine.ooo_window = window } } in
+  let label = match label with Some l -> l | None -> Printf.sprintf "%s/ooo-%d" w.Workload.name window in
+  run_sequential ~label ~opts w
+
+let run_smt ?label ?(opts = default_opts) w =
+  let counters = Counters.create () in
+  let hooks = Events.compose [ opts.engine.Engine.hooks; Counters.hooks counters ] in
+  let hier = Hierarchy.create opts.mem_cfg in
+  let ctxs = Workload.contexts w in
+  let r =
+    Smt.run
+      ~config:{ Smt.hooks; threshold = 0 }
+      hier w.Workload.image ctxs ~max_cycles:opts.max_cycles
+  in
+  let label =
+    match label with
+    | Some l -> l
+    | None -> Printf.sprintf "%s/smt-%d" w.Workload.name (Workload.lane_count w)
+  in
+  Metrics.of_smt ~label ~ops:counters.Counters.ops r
+
+let run_round_robin ?label ?(opts = default_opts) w =
+  let counters, recorder, engine = instrumented_engine opts in
+  let hier = Hierarchy.create opts.mem_cfg in
+  let ctxs = Workload.contexts w in
+  let r =
+    Scheduler.run_round_robin ~engine ~max_cycles:opts.max_cycles ~switch:opts.switch hier
+      w.Workload.image ctxs
+  in
+  let label = match label with Some l -> l | None -> w.Workload.name ^ "/rr" in
+  Metrics.of_sched ~label ~ops:counters.Counters.ops
+    ~latency:(Latency.summarize (Latency.all recorder))
+    r
+
+let run_pgo ?label ?opts ?profile_config ?primary ?scavenger_interval w =
+  let o = match opts with Some o -> o | None -> default_opts in
+  let profiled = Pipeline.profile ?config:profile_config ~mem_cfg:o.mem_cfg w in
+  let w', inst = Pipeline.instrument ?primary ?scavenger_interval profiled w in
+  let label = match label with Some l -> l | None -> w.Workload.name ^ "/pgo" in
+  (run_round_robin ~label ?opts w', inst)
+
+type dual_result = {
+  metrics : Metrics.t;
+  primary_latency : Latency.summary option;
+  primary_done_at : int;
+  scavenger_switches : int;
+}
+
+let run_dual ?label ?(opts = default_opts) ~primary ~scavengers () =
+  if primary.Workload.image != scavengers.Workload.image then
+    invalid_arg "Baselines.run_dual: primary and scavengers must share one memory image";
+  let counters, recorder, engine = instrumented_engine opts in
+  let hier = Hierarchy.create opts.mem_cfg in
+  let p_ctx = Workload.context primary ~lane:0 ~id:0 ~mode:Context.Primary in
+  let s_ctxs =
+    Array.init (Workload.lane_count scavengers) (fun lane ->
+        Workload.context scavengers ~lane ~id:(lane + 1) ~mode:Context.Scavenger)
+  in
+  let r =
+    Dual_mode.run
+      ~config:{ Dual_mode.engine; switch = opts.switch; drain = true }
+      ~max_cycles:opts.max_cycles hier primary.Workload.image ~primary:p_ctx ~scavengers:s_ctxs
+  in
+  let label =
+    match label with
+    | Some l -> l
+    | None -> Printf.sprintf "%s+%s/dual" primary.Workload.name scavengers.Workload.name
+  in
+  {
+    metrics =
+      Metrics.of_sched ~label ~ops:counters.Counters.ops
+        ~latency:(Latency.summarize (Latency.all recorder))
+        r.Dual_mode.sched;
+    primary_latency = Latency.summarize (Latency.of_ctx recorder 0);
+    primary_done_at = r.Dual_mode.primary_done_at;
+    scavenger_switches = r.Dual_mode.scavenger_switches;
+  }

@@ -1,0 +1,70 @@
+(** Runners for every mechanism compared in the paper.
+
+    Each runner builds a fresh cache hierarchy from [mem_cfg], attaches
+    counters and a latency recorder, executes the workload, and returns
+    {!Metrics.t}:
+
+    - {!run_sequential} — no hiding at all ("none"): every stall paid.
+    - {!run_ooo} — sequential with an out-of-order overlap window
+      (hardware that hides only short events).
+    - {!run_smt} — each lane is one hardware context of an SMT core.
+    - {!run_round_robin} — coroutine batch interleaving; with a manual
+      workload this is the CoroBase-style expert baseline; with an
+      instrumented program it is the paper's mechanism. [switch]
+      selects coroutine vs kernel-thread vs process switch costs.
+    - {!run_pgo} — the full §3.2 pipeline (profile → instrument →
+      round-robin).
+    - {!run_dual} — §3.3 dual-mode: a primary lane plus scavenger
+      lanes, with per-request primary latency. *)
+
+open Stallhide_cpu
+open Stallhide_mem
+open Stallhide_runtime
+open Stallhide_workloads
+
+type opts = {
+  mem_cfg : Memconfig.t;
+  switch : Switch_cost.t;
+  engine : Engine.config;
+  max_cycles : int;
+}
+
+val default_opts : opts
+
+val run_sequential : ?label:string -> ?opts:opts -> Workload.t -> Metrics.t
+
+val run_ooo : ?label:string -> ?opts:opts -> window:int -> Workload.t -> Metrics.t
+
+val run_smt : ?label:string -> ?opts:opts -> Workload.t -> Metrics.t
+
+val run_round_robin : ?label:string -> ?opts:opts -> Workload.t -> Metrics.t
+
+(** Profile, instrument and run. Returns the metrics and the
+    instrumentation artifacts (reports, pc map). *)
+val run_pgo :
+  ?label:string ->
+  ?opts:opts ->
+  ?profile_config:Pipeline.profile_config ->
+  ?primary:Stallhide_binopt.Primary_pass.opts ->
+  ?scavenger_interval:int ->
+  Workload.t ->
+  Metrics.t * Pipeline.instrumented
+
+type dual_result = {
+  metrics : Metrics.t;
+  primary_latency : Latency.summary option;  (** per-request latency of the primary *)
+  primary_done_at : int;
+  scavenger_switches : int;
+}
+
+(** [run_dual ~primary ~scavengers] runs lane 0 of [primary] in primary
+    mode against all lanes of [scavengers] in scavenger mode. The two
+    workloads must share one memory image (build them with [?image]).
+    @raise Invalid_argument when images differ. *)
+val run_dual :
+  ?label:string ->
+  ?opts:opts ->
+  primary:Workload.t ->
+  scavengers:Workload.t ->
+  unit ->
+  dual_result

@@ -1,0 +1,62 @@
+open Stallhide_runtime
+
+let ff ?(decimals = 2) x =
+  if Float.is_nan x then "-" else Printf.sprintf "%.*f" decimals x
+
+let pct x = if Float.is_nan x then "-" else Printf.sprintf "%.1f%%" (100.0 *. x)
+
+let fi n =
+  let s = string_of_int (abs n) in
+  let len = String.length s in
+  let buf = Buffer.create (len + (len / 3) + 1) in
+  if n < 0 then Buffer.add_char buf '-';
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let table ~title ?note ~header rows =
+  let all = header :: rows in
+  let cols = List.fold_left (fun m r -> max m (List.length r)) 0 all in
+  let width = Array.make cols 0 in
+  List.iter
+    (fun row ->
+      List.iteri (fun i cell -> if i < cols then width.(i) <- max width.(i) (String.length cell)) row)
+    all;
+  let render row =
+    let cells =
+      List.mapi
+        (fun i cell ->
+          let pad = width.(i) - String.length cell in
+          if i = 0 then cell ^ String.make pad ' ' else String.make pad ' ' ^ cell)
+        row
+    in
+    "  " ^ String.concat "  " cells
+  in
+  let rule = "  " ^ String.make (Array.fold_left ( + ) 0 width + (2 * (cols - 1))) '-' in
+  print_newline ();
+  Printf.printf "== %s ==\n" title;
+  (match note with Some n -> Printf.printf "   %s\n" n | None -> ());
+  print_endline (render header);
+  print_endline rule;
+  List.iter (fun r -> print_endline (render r)) rows;
+  flush stdout
+
+let metrics_header =
+  [ "mechanism"; "cycles"; "eff"; "ops/kcyc"; "stall%"; "switch%"; "p50"; "p99" ]
+
+let metrics_row (m : Metrics.t) =
+  let cyc = float_of_int (max 1 m.Metrics.cycles) in
+  let lat f = match m.Metrics.latency with Some s -> f s | None -> "-" in
+  [
+    m.Metrics.label;
+    fi m.Metrics.cycles;
+    pct m.Metrics.efficiency;
+    ff ~decimals:3 m.Metrics.throughput;
+    pct (float_of_int m.Metrics.stall /. cyc);
+    pct (float_of_int m.Metrics.switch_cycles /. cyc);
+    lat (fun s -> fi s.Latency.p50);
+    lat (fun s -> fi s.Latency.p99);
+  ]

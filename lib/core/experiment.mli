@@ -1,0 +1,19 @@
+(** Plain-text table rendering for the benchmark harness. *)
+
+(** [table ~title ~header rows] prints an aligned table to stdout.
+    An optional [note] line follows the title. *)
+val table : title:string -> ?note:string -> header:string list -> string list list -> unit
+
+(** Format helpers: fixed-point float, percentage, integer with
+    thousands separators. *)
+val ff : ?decimals:int -> float -> string
+
+val pct : float -> string
+
+val fi : int -> string
+
+(** Row from a metrics record: label, cycles, efficiency, throughput,
+    stall%, switch%, and p50/p99 latency when present. *)
+val metrics_header : string list
+
+val metrics_row : Metrics.t -> string list

@@ -1,0 +1,173 @@
+open Stallhide_isa
+open Stallhide_mem
+open Stallhide_cpu
+open Stallhide_pmu
+open Stallhide_binopt
+open Stallhide_runtime
+open Stallhide_workloads
+
+type profile_config = {
+  exec_period : int;
+  miss_period : int;
+  stall_period : int;
+  frontend_period : int option;
+  lbr_snapshot_period : int;
+  buffer_capacity : int;
+}
+
+let default_profile_config =
+  {
+    exec_period = 31;
+    miss_period = 17;
+    stall_period = 127;
+    frontend_period = Some 127;
+    lbr_snapshot_period = 211;
+    buffer_capacity = 1 lsl 20;
+  }
+
+type profiled = {
+  profile : Profile.t;
+  run_cycles : int;
+  samples : int;
+  overhead_cycles : int;
+}
+
+let profile ?(config = default_profile_config) ?(mem_cfg = Memconfig.default) w =
+  let hier = Hierarchy.create mem_cfg in
+  let exec =
+    Pebs.create ~buffer_capacity:config.buffer_capacity ~event:Pebs.Loads_all
+      ~period:config.exec_period ()
+  in
+  let miss =
+    Pebs.create ~buffer_capacity:config.buffer_capacity ~event:Pebs.L2_miss_loads
+      ~period:config.miss_period ()
+  in
+  let stall =
+    Pebs.create ~buffer_capacity:config.buffer_capacity ~event:Pebs.Stall_cycles
+      ~period:config.stall_period ()
+  in
+  let frontend =
+    match config.frontend_period with
+    | Some period ->
+        Some
+          (Pebs.create ~buffer_capacity:config.buffer_capacity ~event:Pebs.Frontend_stalls
+             ~period ())
+    | None -> None
+  in
+  let lbr = Lbr.create ~snapshot_period:config.lbr_snapshot_period () in
+  let hooks =
+    Events.compose
+      ([ Pebs.hooks exec; Pebs.hooks miss; Pebs.hooks stall; Lbr.hooks lbr ]
+      @ match frontend with Some f -> [ Pebs.hooks f ] | None -> [])
+  in
+  let engine = { Engine.default_config with hooks } in
+  let ctxs = Workload.contexts w in
+  let r = Scheduler.run_sequential ~engine hier w.Workload.image ctxs in
+  let p = Profile.build ~program:w.Workload.program ~exec ~miss ~stall ?frontend ~lbr () in
+  (* leave the image as we found it for the measured run *)
+  w.Workload.reset ();
+  let overhead_cycles =
+    Pebs.overhead_cycles exec + Pebs.overhead_cycles miss + Pebs.overhead_cycles stall
+  in
+  {
+    profile = p;
+    run_cycles = r.Scheduler.cycles;
+    samples = Profile.total_samples p;
+    overhead_cycles;
+  }
+
+let ground_truth ?(mem_cfg = Memconfig.default) w =
+  let hier = Hierarchy.create mem_cfg in
+  let table : (int, int * int * int) Hashtbl.t = Hashtbl.create 64 in
+  let on_load (info : Events.load_info) =
+    let execs, misses, stall =
+      match Hashtbl.find_opt table info.Events.pc with Some t -> t | None -> (0, 0, 0)
+    in
+    let is_miss =
+      match info.Events.level with
+      | Hierarchy.L3 | Hierarchy.Dram -> true
+      | Hierarchy.L1 | Hierarchy.L2 -> false
+    in
+    Hashtbl.replace table info.Events.pc
+      ( execs + 1,
+        (misses + if is_miss then 1 else 0),
+        stall + info.Events.stall )
+  in
+  let engine = { Engine.default_config with hooks = { Events.nop with on_load } } in
+  let ctxs = Workload.contexts w in
+  let (_ : Scheduler.result) = Scheduler.run_sequential ~engine hier w.Workload.image ctxs in
+  w.Workload.reset ();
+  table
+
+let oracle_estimates ?mem_cfg w = Gain_cost.of_ground_truth (ground_truth ?mem_cfg w)
+
+let oracle_sites ?mem_cfg ?(threshold = 0.5) w =
+  let table = ground_truth ?mem_cfg w in
+  Hashtbl.fold
+    (fun pc (execs, misses, _) acc ->
+      if execs > 0 && float_of_int misses /. float_of_int execs >= threshold then pc :: acc
+      else acc)
+    table []
+  |> List.sort compare
+
+let oracle_selection ?mem_cfg ?(policy = Gain_cost.Cost_benefit)
+    ?(machine = Gain_cost.default_machine) w =
+  Gain_cost.select policy machine (oracle_estimates ?mem_cfg w) w.Workload.program
+
+type instrumented = {
+  program : Program.t;
+  orig_of_new : int array;
+  primary : Primary_pass.report;
+  scavenger : Scavenger_pass.report option;
+}
+
+let instrument_with ~estimates ?(pc_cycles = fun _ -> None) ?wait_stalls
+    ?(primary = Primary_pass.default_opts) ?scavenger_interval prog =
+  let prog1, map1, rep1 = Primary_pass.run ?wait_stalls primary estimates prog in
+  match scavenger_interval with
+  | None -> { program = prog1; orig_of_new = map1; primary = rep1; scavenger = None }
+  | Some interval ->
+      let selected_set = Hashtbl.create 16 in
+      List.iter (fun pc -> Hashtbl.replace selected_set pc ()) rep1.Primary_pass.selected;
+      (* Profiled latencies describe the *uninstrumented* binary: loads
+         the primary pass just covered will mostly hit now, and inserted
+         prefetch/yield instructions have no profile at all — fall back
+         to static costs for those. *)
+      let adjusted_pc_cycles pc =
+        match Program.instr prog1 pc with
+        | Instr.Prefetch _ | Instr.Yield _ | Instr.Yield_cond _ -> None
+        | Instr.Load _ when Hashtbl.mem selected_set map1.(pc) -> None
+        | _ -> pc_cycles map1.(pc)
+      in
+      let opts =
+        {
+          Scavenger_pass.default_opts with
+          target_interval = interval;
+          pc_cycles = adjusted_pc_cycles;
+        }
+      in
+      let prog2, map2, rep2 = Scavenger_pass.run opts prog1 in
+      {
+        program = prog2;
+        orig_of_new = Rewrite.compose map2 map1;
+        primary = rep1;
+        scavenger = Some rep2;
+      }
+
+let instrument ?primary ?scavenger_interval (p : profiled) w =
+  let estimates = Gain_cost.of_profile p.profile in
+  let pc_cycles pc = Profile.pc_cycles p.profile pc in
+  (* Instrument a wait only when the *majority* of its sampled stalls
+     are memory/event stalls: two period-sampled estimates of the same
+     quantity never cancel exactly, so a positive residue alone is
+     noise, not signal. *)
+  let wait_stalls pc =
+    let raw = Profile.raw_stalls_at p.profile pc in
+    let memory = Profile.stalls_at p.profile pc in
+    if 2 * memory >= raw then memory else 0
+  in
+  let inst =
+    instrument_with ~estimates ~pc_cycles ~wait_stalls ?primary ?scavenger_interval
+      w.Workload.program
+  in
+  (Workload.with_program w inst.program, inst)

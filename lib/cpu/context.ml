@@ -1,0 +1,62 @@
+open Stallhide_isa
+
+type mode = Primary | Scavenger
+
+type status = Ready | Done | Faulted of string
+
+type t = {
+  id : int;
+  program : Program.t;
+  regs : int array;
+  mutable pc : int;
+  mutable status : status;
+  mutable mode : mode;
+  call_stack : int Stack.t;
+  mutable domain : (int * int) option;
+  mutable accel_done_at : int;  (* -1 = no operation outstanding *)
+  mutable accel_result : int;
+  mutable instructions : int;
+  mutable stall_cycles : int;
+  mutable cond_checks : int;
+  mutable yields : int;
+  mutable started_at : int;
+  mutable finished_at : int;
+}
+
+let create ~id ~mode program =
+  {
+    id;
+    program;
+    regs = Array.make Reg.count 0;
+    pc = 0;
+    status = Ready;
+    mode;
+    call_stack = Stack.create ();
+    domain = None;
+    accel_done_at = -1;
+    accel_result = 0;
+    instructions = 0;
+    stall_cycles = 0;
+    cond_checks = 0;
+    yields = 0;
+    started_at = -1;
+    finished_at = -1;
+  }
+
+let set_regs t l = List.iter (fun (r, v) -> t.regs.(r) <- v) l
+
+let is_ready t = match t.status with Ready -> true | Done | Faulted _ -> false
+
+let reset ?regs t =
+  t.pc <- 0;
+  t.status <- Ready;
+  Stack.clear t.call_stack;
+  t.accel_done_at <- -1;
+  t.accel_result <- 0;
+  t.instructions <- 0;
+  t.stall_cycles <- 0;
+  t.cond_checks <- 0;
+  t.yields <- 0;
+  t.started_at <- -1;
+  t.finished_at <- -1;
+  match regs with None -> () | Some l -> set_regs t l

@@ -1,0 +1,48 @@
+(** An execution context — the architectural state of one coroutine
+    (or one SMT hardware thread): registers, pc, call stack, run mode,
+    and per-context accounting. *)
+
+open Stallhide_isa
+
+(** §3.3 dual-mode execution. In [Primary] mode, scavenger-phase
+    conditional yields are switched off (they cost one check cycle); in
+    [Scavenger] mode they are taken. *)
+type mode = Primary | Scavenger
+
+type status = Ready | Done | Faulted of string
+
+type t = {
+  id : int;
+  program : Program.t;
+  regs : int array;
+  mutable pc : int;
+  mutable status : status;
+  mutable mode : mode;
+  call_stack : int Stack.t;
+  mutable domain : (int * int) option;
+      (** SFI protection domain [lo, hi): [Guard] instructions fault on
+          addresses outside it; [None] disables checking *)
+  mutable accel_done_at : int;
+      (** completion cycle of the outstanding accelerator operation;
+          [-1] when none is pending *)
+  mutable accel_result : int;
+  (* accounting *)
+  mutable instructions : int;
+  mutable stall_cycles : int;
+  mutable cond_checks : int;
+  mutable yields : int;
+  mutable started_at : int;  (** first cycle the context ran, -1 before *)
+  mutable finished_at : int;  (** cycle of [Halt], -1 before *)
+}
+
+(** [create ~id ~mode program] starts at pc 0 with zeroed registers. *)
+val create : id:int -> mode:mode -> Program.t -> t
+
+(** Initialise registers, e.g. a lane's start pointer. *)
+val set_regs : t -> (Reg.t * int) list -> unit
+
+val is_ready : t -> bool
+
+(** Reset pc/status/stack/accounting for a fresh run (registers keep
+    their current values unless [regs] is given). *)
+val reset : ?regs:(Reg.t * int) list -> t -> unit

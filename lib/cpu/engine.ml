@@ -1,0 +1,320 @@
+open Stallhide_isa
+open Stallhide_mem
+
+type config = {
+  hooks : Events.t;
+  cond_check_cost : int;
+  ooo_window : int;
+  load_block_threshold : int option;
+}
+
+let default_config =
+  { hooks = Events.nop; cond_check_cost = 1; ooo_window = 0; load_block_threshold = None }
+
+type stop =
+  | Halted
+  | Yielded of Instr.yield_kind * int
+  | Out_of_budget
+  | Fault of string
+
+type step_result = Normal | Blocked_until of int | Stop of stop
+
+(* The accelerator's deterministic transform: tests and workload
+   oracles recompute it host-side. *)
+let accel_transform v = (v * 2654435761) lxor (v asr 7)
+
+let max_call_depth = 4096
+
+let fault (ctx : Context.t) fmt =
+  Printf.ksprintf
+    (fun msg ->
+      ctx.status <- Context.Faulted msg;
+      Stop (Fault msg))
+    fmt
+
+let operand_value (ctx : Context.t) = function Instr.Reg r -> ctx.regs.(r) | Instr.Imm i -> i
+
+let eval_binop op a b =
+  match op with
+  | Instr.Add -> Some (a + b)
+  | Instr.Sub -> Some (a - b)
+  | Instr.Mul -> Some (a * b)
+  | Instr.Div -> if b = 0 then None else Some (a / b)
+  | Instr.Rem -> if b = 0 then None else Some (a mod b)
+  | Instr.And -> Some (a land b)
+  | Instr.Or -> Some (a lor b)
+  | Instr.Xor -> Some (a lxor b)
+  | Instr.Shl -> Some (a lsl (b land 63))
+  | Instr.Shr -> Some (a asr (b land 63))
+
+let eval_cond c a b =
+  match c with
+  | Instr.Eq -> a = b
+  | Instr.Ne -> a <> b
+  | Instr.Lt -> a < b
+  | Instr.Le -> a <= b
+  | Instr.Gt -> a > b
+  | Instr.Ge -> a >= b
+
+let step cfg hier mem ~clock (ctx : Context.t) =
+  let program = ctx.program in
+  if ctx.pc < 0 || ctx.pc >= Program.length program then
+    fault ctx "pc %d out of range" ctx.pc
+  else begin
+    if ctx.started_at < 0 then ctx.started_at <- !clock;
+    let pc = ctx.pc in
+    let i = Program.instr program pc in
+    ctx.instructions <- ctx.instructions + 1;
+    let id = ctx.id in
+    (* front-end: instruction fetch may stall on an icache miss *)
+    let fstall = Hierarchy.fetch hier ~now:!clock pc in
+    if fstall > 0 then begin
+      clock := !clock + fstall;
+      ctx.stall_cycles <- ctx.stall_cycles + fstall;
+      cfg.hooks.on_frontend_stall ~ctx:id ~pc ~cycles:fstall ~cycle:!clock
+    end;
+    let advance cost = clock := !clock + cost in
+    let retire () = cfg.hooks.on_retire ~ctx:id ~pc ~instr:i ~cycle:!clock in
+    let next () = ctx.pc <- pc + 1 in
+    (* Demand load: returns the paid cost and remaining stall after the
+       OoO window, firing load/stall hooks. *)
+    let demand_load addr =
+      let r = Hierarchy.access hier ~now:!clock addr in
+      let hidden = min cfg.ooo_window r.stall in
+      let paid_stall = r.stall - hidden in
+      let cost = Cost.base i + r.latency - hidden in
+      (cost, paid_stall, r.level)
+    in
+    match i with
+    | Instr.Binop (op, rd, rs, o) -> (
+        match eval_binop op ctx.regs.(rs) (operand_value ctx o) with
+        | None -> fault ctx "division by zero at pc %d" pc
+        | Some v ->
+            ctx.regs.(rd) <- v;
+            advance (Cost.base i);
+            next ();
+            retire ();
+            Normal)
+    | Instr.Mov (rd, o) ->
+        ctx.regs.(rd) <- operand_value ctx o;
+        advance (Cost.base i);
+        next ();
+        retire ();
+        Normal
+    | Instr.Load (rd, rs, disp) ->
+        let addr = ctx.regs.(rs) + disp in
+        if not (Address_space.valid_addr mem addr) then
+          fault ctx "load from invalid address %d at pc %d" addr pc
+        else begin
+          let cost, paid_stall, level = demand_load addr in
+          ctx.regs.(rd) <- Address_space.load mem addr;
+          next ();
+          match cfg.load_block_threshold with
+          | Some thr when paid_stall > thr ->
+              (* SMT: charge issue + L1 latency, block until data arrives. *)
+              let issue_cost = cost - paid_stall in
+              let data_at = !clock + cost in
+              advance issue_cost;
+              cfg.hooks.on_load { ctx = id; pc; addr; level; stall = paid_stall; cycle = !clock };
+              retire ();
+              Blocked_until data_at
+          | Some _ | None ->
+              advance cost;
+              ctx.stall_cycles <- ctx.stall_cycles + paid_stall;
+              cfg.hooks.on_load { ctx = id; pc; addr; level; stall = paid_stall; cycle = !clock };
+              if paid_stall > 0 then
+                cfg.hooks.on_stall ~ctx:id ~pc ~cycles:paid_stall ~cycle:!clock;
+              retire ();
+              Normal
+        end
+    | Instr.Store (rs, disp, rv) ->
+        let addr = ctx.regs.(rs) + disp in
+        if not (Address_space.valid_addr mem addr) then
+          fault ctx "store to invalid address %d at pc %d" addr pc
+        else begin
+          Address_space.store mem addr ctx.regs.(rv);
+          advance (Cost.base i);
+          next ();
+          retire ();
+          Normal
+        end
+    | Instr.Prefetch (rs, disp) ->
+        let addr = ctx.regs.(rs) + disp in
+        (* Like hardware, prefetch of a bad address is a silent no-op. *)
+        if Address_space.valid_addr mem addr then Hierarchy.prefetch hier ~now:!clock addr;
+        advance (Hierarchy.config hier).prefetch_issue_cost;
+        next ();
+        retire ();
+        Normal
+    | Instr.Branch (c, rs, o, _) ->
+        let taken = eval_cond c ctx.regs.(rs) (operand_value ctx o) in
+        let target = Program.resolved_target program pc in
+        advance (Cost.base i);
+        ctx.pc <- (if taken then target else pc + 1);
+        cfg.hooks.on_branch ~ctx:id ~pc ~target:ctx.pc ~taken ~cycle:!clock;
+        retire ();
+        Normal
+    | Instr.Jump _ ->
+        let target = Program.resolved_target program pc in
+        advance (Cost.base i);
+        ctx.pc <- target;
+        cfg.hooks.on_branch ~ctx:id ~pc ~target ~taken:true ~cycle:!clock;
+        retire ();
+        Normal
+    | Instr.Call _ ->
+        if Stack.length ctx.call_stack >= max_call_depth then
+          fault ctx "call stack overflow at pc %d" pc
+        else begin
+          Stack.push (pc + 1) ctx.call_stack;
+          let target = Program.resolved_target program pc in
+          advance (Cost.base i);
+          ctx.pc <- target;
+          cfg.hooks.on_branch ~ctx:id ~pc ~target ~taken:true ~cycle:!clock;
+          retire ();
+          Normal
+        end
+    | Instr.Ret -> (
+        match Stack.pop_opt ctx.call_stack with
+        | None -> fault ctx "ret with empty call stack at pc %d" pc
+        | Some ret_pc ->
+            advance (Cost.base i);
+            ctx.pc <- ret_pc;
+            cfg.hooks.on_branch ~ctx:id ~pc ~target:ret_pc ~taken:true ~cycle:!clock;
+            retire ();
+            Normal)
+    | Instr.Yield Instr.Primary ->
+        ctx.yields <- ctx.yields + 1;
+        next ();
+        retire ();
+        Stop (Yielded (Instr.Primary, pc))
+    | Instr.Yield Instr.Scavenger ->
+        if ctx.mode = Context.Scavenger then begin
+          ctx.yields <- ctx.yields + 1;
+          next ();
+          retire ();
+          Stop (Yielded (Instr.Scavenger, pc))
+        end
+        else begin
+          (* Conditional yield switched off: pay the check and move on. *)
+          ctx.cond_checks <- ctx.cond_checks + 1;
+          advance cfg.cond_check_cost;
+          next ();
+          retire ();
+          Normal
+        end
+    | Instr.Yield_cond (rs, disp) ->
+        let addr = ctx.regs.(rs) + disp in
+        ctx.cond_checks <- ctx.cond_checks + 1;
+        advance cfg.cond_check_cost;
+        let resident =
+          (not (Address_space.valid_addr mem addr))
+          ||
+          match Hierarchy.resident hier ~now:!clock addr with
+          | Some (Hierarchy.L1 | Hierarchy.L2) -> true
+          | Some (Hierarchy.L3 | Hierarchy.Dram) | None -> false
+        in
+        next ();
+        if resident then begin
+          retire ();
+          Normal
+        end
+        else begin
+          Hierarchy.prefetch hier ~now:!clock addr;
+          advance (Hierarchy.config hier).prefetch_issue_cost;
+          ctx.yields <- ctx.yields + 1;
+          retire ();
+          Stop (Yielded (Instr.Primary, pc))
+        end
+    | Instr.Accel_issue (rs, disp) ->
+        if ctx.accel_done_at >= 0 then fault ctx "accelerator busy at pc %d" pc
+        else
+          let addr = ctx.regs.(rs) + disp in
+          if not (Address_space.valid_addr mem addr) then
+            fault ctx "accelerator operand at invalid address %d (pc %d)" addr pc
+          else begin
+            advance (Cost.base i);
+            ctx.accel_result <- accel_transform (Address_space.load mem addr);
+            ctx.accel_done_at <- !clock + (Hierarchy.config hier).accel_latency;
+            next ();
+            retire ();
+            Normal
+          end
+    | Instr.Accel_wait rd ->
+        if ctx.accel_done_at < 0 then fault ctx "accelerator wait with no operation at pc %d" pc
+        else begin
+          let remaining = max 0 (ctx.accel_done_at - !clock) in
+          let hidden = min cfg.ooo_window remaining in
+          let paid = remaining - hidden in
+          ctx.regs.(rd) <- ctx.accel_result;
+          ctx.accel_done_at <- -1;
+          next ();
+          match cfg.load_block_threshold with
+          | Some thr when paid > thr ->
+              let data_at = !clock + Cost.base i + paid in
+              advance (Cost.base i);
+              retire ();
+              Blocked_until data_at
+          | Some _ | None ->
+              advance (Cost.base i + paid);
+              ctx.stall_cycles <- ctx.stall_cycles + paid;
+              if paid > 0 then cfg.hooks.on_stall ~ctx:id ~pc ~cycles:paid ~cycle:!clock;
+              retire ();
+              Normal
+        end
+    | Instr.Guard (rs, disp) ->
+        let addr = ctx.regs.(rs) + disp in
+        advance (Cost.base i);
+        let ok =
+          match ctx.domain with Some (lo, hi) -> addr >= lo && addr < hi | None -> true
+        in
+        if ok then begin
+          next ();
+          retire ();
+          Normal
+        end
+        else fault ctx "sfi violation: address %d outside domain at pc %d" addr pc
+    | Instr.Opmark ->
+        next ();
+        cfg.hooks.on_opmark ~ctx:id ~pc ~cycle:!clock;
+        retire ();
+        Normal
+    | Instr.Nop ->
+        advance (Cost.base i);
+        next ();
+        retire ();
+        Normal
+    | Instr.Halt ->
+        ctx.status <- Context.Done;
+        ctx.finished_at <- !clock;
+        retire ();
+        Stop Halted
+  end
+
+let run cfg hier mem ~clock ?(deadline = max_int) (ctx : Context.t) =
+  let rec loop () =
+    match ctx.status with
+    | Context.Done -> Halted
+    | Context.Faulted msg -> Fault msg
+    | Context.Ready ->
+        if !clock >= deadline then Out_of_budget
+        else begin
+          match step cfg hier mem ~clock ctx with
+          | Normal -> loop ()
+          | Blocked_until w ->
+              (* Single-context fallback: nothing else to run, wait it out. *)
+              if w > !clock then begin
+                ctx.stall_cycles <- ctx.stall_cycles + (w - !clock);
+                clock := w
+              end;
+              loop ()
+          | Stop s -> s
+        end
+  in
+  loop ()
+
+let pp_stop fmt = function
+  | Halted -> Format.pp_print_string fmt "halted"
+  | Yielded (Instr.Primary, pc) -> Format.fprintf fmt "yielded(primary@%d)" pc
+  | Yielded (Instr.Scavenger, pc) -> Format.fprintf fmt "yielded(scavenger@%d)" pc
+  | Out_of_budget -> Format.pp_print_string fmt "out-of-budget"
+  | Fault m -> Format.fprintf fmt "fault(%s)" m

@@ -1,0 +1,58 @@
+(** Cycle-level in-order execution engine.
+
+    The engine interprets one context at a time against a shared clock,
+    memory image and cache hierarchy, firing {!Events} hooks as
+    instructions retire. Control returns to the caller (the scheduler)
+    at yields, halts, faults, or when the clock reaches a deadline.
+
+    Two knobs change the timing model without changing semantics:
+    - [ooo_window] — cycles of each memory stall hidden by out-of-order
+      overlap with independent work (the Figure-1 OoO model);
+    - [load_block_threshold] — when set, a load whose stall exceeds the
+      threshold does not stall the pipeline but *blocks the context*
+      until the data arrives ({!step} returns [Blocked_until]); the SMT
+      model runs other hardware contexts in the gap. *)
+
+open Stallhide_isa
+open Stallhide_mem
+
+type config = {
+  hooks : Events.t;
+  cond_check_cost : int;  (** cost of an untaken conditional yield (default 1) *)
+  ooo_window : int;  (** default 0 (in-order) *)
+  load_block_threshold : int option;  (** default [None] (loads stall) *)
+}
+
+val default_config : config
+
+type stop =
+  | Halted
+  | Yielded of Instr.yield_kind * int  (** kind and pc of the yield instruction *)
+  | Out_of_budget
+  | Fault of string
+
+type step_result = Normal | Blocked_until of int | Stop of stop
+
+(** The accelerator's deterministic transform ([Accel_issue] computes
+    [accel_transform mem\[rs+disp\]]); exposed so tests and workload
+    oracles can recompute results host-side. *)
+val accel_transform : int -> int
+
+(** Execute exactly one instruction of [ctx], advancing [clock] by its
+    cost. *)
+val step :
+  config -> Hierarchy.t -> Address_space.t -> clock:int ref -> Context.t -> step_result
+
+(** Run [ctx] until it yields, halts, faults, or [clock] reaches
+    [deadline]. With [load_block_threshold] set, blocked periods are
+    simply waited out (single-context fallback). *)
+val run :
+  config ->
+  Hierarchy.t ->
+  Address_space.t ->
+  clock:int ref ->
+  ?deadline:int ->
+  Context.t ->
+  stop
+
+val pp_stop : Format.formatter -> stop -> unit

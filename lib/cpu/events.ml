@@ -1,0 +1,46 @@
+open Stallhide_isa
+open Stallhide_mem
+
+type load_info = {
+  ctx : int;
+  pc : int;
+  addr : int;
+  level : Hierarchy.level;
+  stall : int;
+  cycle : int;
+}
+
+type t = {
+  on_retire : ctx:int -> pc:int -> instr:Instr.t -> cycle:int -> unit;
+  on_load : load_info -> unit;
+  on_branch : ctx:int -> pc:int -> target:int -> taken:bool -> cycle:int -> unit;
+  on_stall : ctx:int -> pc:int -> cycles:int -> cycle:int -> unit;
+  on_frontend_stall : ctx:int -> pc:int -> cycles:int -> cycle:int -> unit;
+  on_opmark : ctx:int -> pc:int -> cycle:int -> unit;
+}
+
+let nop =
+  {
+    on_retire = (fun ~ctx:_ ~pc:_ ~instr:_ ~cycle:_ -> ());
+    on_load = (fun _ -> ());
+    on_branch = (fun ~ctx:_ ~pc:_ ~target:_ ~taken:_ ~cycle:_ -> ());
+    on_stall = (fun ~ctx:_ ~pc:_ ~cycles:_ ~cycle:_ -> ());
+    on_frontend_stall = (fun ~ctx:_ ~pc:_ ~cycles:_ ~cycle:_ -> ());
+    on_opmark = (fun ~ctx:_ ~pc:_ ~cycle:_ -> ());
+  }
+
+let compose hs =
+  {
+    on_retire =
+      (fun ~ctx ~pc ~instr ~cycle -> List.iter (fun h -> h.on_retire ~ctx ~pc ~instr ~cycle) hs);
+    on_load = (fun info -> List.iter (fun h -> h.on_load info) hs);
+    on_branch =
+      (fun ~ctx ~pc ~target ~taken ~cycle ->
+        List.iter (fun h -> h.on_branch ~ctx ~pc ~target ~taken ~cycle) hs);
+    on_stall =
+      (fun ~ctx ~pc ~cycles ~cycle -> List.iter (fun h -> h.on_stall ~ctx ~pc ~cycles ~cycle) hs);
+    on_frontend_stall =
+      (fun ~ctx ~pc ~cycles ~cycle ->
+        List.iter (fun h -> h.on_frontend_stall ~ctx ~pc ~cycles ~cycle) hs);
+    on_opmark = (fun ~ctx ~pc ~cycle -> List.iter (fun h -> h.on_opmark ~ctx ~pc ~cycle) hs);
+  }

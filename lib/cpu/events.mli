@@ -1,0 +1,33 @@
+(** Hardware event hooks.
+
+    The execution engine fires these callbacks as instructions retire;
+    the PMU library implements them (counters, PEBS-style sampling,
+    LBR). This is the simulated equivalent of the performance-monitoring
+    fabric the paper's profiling step relies on. *)
+
+open Stallhide_isa
+open Stallhide_mem
+
+type load_info = {
+  ctx : int;  (** context id *)
+  pc : int;
+  addr : int;
+  level : Hierarchy.level;
+  stall : int;  (** stall cycles actually paid (after any OoO overlap) *)
+  cycle : int;
+}
+
+type t = {
+  on_retire : ctx:int -> pc:int -> instr:Instr.t -> cycle:int -> unit;
+  on_load : load_info -> unit;
+  on_branch : ctx:int -> pc:int -> target:int -> taken:bool -> cycle:int -> unit;
+  on_stall : ctx:int -> pc:int -> cycles:int -> cycle:int -> unit;
+  on_frontend_stall : ctx:int -> pc:int -> cycles:int -> cycle:int -> unit;
+  on_opmark : ctx:int -> pc:int -> cycle:int -> unit;
+}
+
+(** Hooks that do nothing. *)
+val nop : t
+
+(** [compose hs] fires every hook of every element, in order. *)
+val compose : t list -> t

@@ -1,0 +1,46 @@
+open Effect
+open Effect.Deep
+
+type _ Effect.t += Yield : unit Effect.t
+
+let yields = ref 0
+
+let yield () =
+  try perform Yield
+  with Effect.Unhandled Yield -> failwith "Fiber.yield: called outside Fiber.run"
+
+let run fns =
+  let q : (unit -> unit) Queue.t = Queue.create () in
+  let run_next () = match Queue.take_opt q with Some f -> f () | None -> () in
+  let spawn f =
+    match_with f ()
+      {
+        retc = (fun () -> run_next ());
+        exnc = raise;
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Yield ->
+                Some
+                  (fun (k : (a, _) continuation) ->
+                    incr yields;
+                    Queue.push (fun () -> continue k ()) q;
+                    run_next ())
+            | _ -> None);
+      }
+  in
+  match fns with
+  | [] -> ()
+  | f :: rest ->
+      List.iter (fun g -> Queue.push (fun () -> spawn g) q) rest;
+      spawn f
+
+let ping_pong ~rounds =
+  let fiber () =
+    for _ = 1 to rounds do
+      yield ()
+    done
+  in
+  run [ fiber; fiber ]
+
+let yield_count () = !yields

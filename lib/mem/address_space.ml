@@ -1,0 +1,40 @@
+type t = { mem : int array; mutable brk : int }
+
+let word_bytes = 8
+
+let line_align = 64
+
+let create ~bytes =
+  if bytes <= 0 then invalid_arg "Address_space.create: bytes must be positive";
+  let words = (bytes + word_bytes - 1) / word_bytes in
+  { mem = Array.make words 0; brk = 0 }
+
+let capacity_bytes t = Array.length t.mem * word_bytes
+
+let used_bytes t = t.brk
+
+let alloc t ~bytes =
+  if bytes <= 0 then invalid_arg "Address_space.alloc: bytes must be positive";
+  let base = (t.brk + line_align - 1) / line_align * line_align in
+  if base + bytes > capacity_bytes t then
+    failwith
+      (Printf.sprintf "Address_space.alloc: out of memory (want %d at %d, capacity %d)" bytes base
+         (capacity_bytes t));
+  t.brk <- base + bytes;
+  base
+
+let check t addr =
+  if addr land (word_bytes - 1) <> 0 then
+    invalid_arg (Printf.sprintf "Address_space: unaligned address %d" addr);
+  if addr < 0 || addr >= capacity_bytes t then
+    invalid_arg (Printf.sprintf "Address_space: address %d out of range" addr)
+
+let load t addr =
+  check t addr;
+  t.mem.(addr lsr 3)
+
+let store t addr v =
+  check t addr;
+  t.mem.(addr lsr 3) <- v
+
+let valid_addr t addr = addr land (word_bytes - 1) = 0 && addr >= 0 && addr < capacity_bytes t

@@ -1,0 +1,33 @@
+(** The simulated physical memory image.
+
+    Word-addressed storage behind byte addresses: words are 8 bytes and
+    all loads/stores must be word-aligned. Workload generators allocate
+    regions with {!alloc} (line-aligned, bump allocation) and fill them
+    with data; pointers are stored byte addresses, so pointer-chasing
+    programs really dereference this image. *)
+
+type t
+
+val word_bytes : int
+
+(** [create ~bytes] makes a zero-filled space of capacity [bytes]
+    (rounded up to a whole word). *)
+val create : bytes:int -> t
+
+val capacity_bytes : t -> int
+
+(** Bytes currently allocated. *)
+val used_bytes : t -> int
+
+(** [alloc t ~bytes] reserves a fresh 64-byte-aligned region and
+    returns its base address.
+    @raise Failure when the space is exhausted. *)
+val alloc : t -> bytes:int -> int
+
+(** @raise Invalid_argument on unaligned or out-of-range addresses. *)
+val load : t -> int -> int
+
+val store : t -> int -> int -> unit
+
+(** Whether [addr] is word-aligned and within the allocated capacity. *)
+val valid_addr : t -> int -> bool

@@ -1,0 +1,101 @@
+type t = {
+  cname : string;
+  line_shift : int;
+  sets : int;
+  ways : int;
+  tags : int array;  (* sets*ways; -1 = invalid *)
+  ready : int array;
+  stamp : int array;  (* LRU timestamps *)
+  mutable tick : int;
+  mutable hit_count : int;
+  mutable miss_count : int;
+}
+
+type lookup = Hit | In_flight of int | Miss
+
+let log2 n =
+  let rec loop n acc = if n <= 1 then acc else loop (n lsr 1) (acc + 1) in
+  loop n 0
+
+let create ~name ~line_bytes (cfg : Memconfig.level_cfg) =
+  let lines = cfg.size_bytes / line_bytes in
+  let sets = lines / cfg.ways in
+  if sets <= 0 then invalid_arg "Cache.create: zero sets";
+  {
+    cname = name;
+    line_shift = log2 line_bytes;
+    sets;
+    ways = cfg.ways;
+    tags = Array.make lines (-1);
+    ready = Array.make lines 0;
+    stamp = Array.make lines 0;
+    tick = 0;
+    hit_count = 0;
+    miss_count = 0;
+  }
+
+let name t = t.cname
+
+let lines t = t.sets * t.ways
+
+let line_of t addr = addr lsr t.line_shift
+
+(* Returns the way slot index of the line in its set, or -1. *)
+let find t line =
+  let set = line land (t.sets - 1) in
+  let base = set * t.ways in
+  let rec loop w =
+    if w = t.ways then -1
+    else if t.tags.(base + w) = line then base + w
+    else loop (w + 1)
+  in
+  loop 0
+
+let touch t slot =
+  t.tick <- t.tick + 1;
+  t.stamp.(slot) <- t.tick
+
+let lookup t ~now addr =
+  let line = line_of t addr in
+  match find t line with
+  | -1 ->
+      t.miss_count <- t.miss_count + 1;
+      Miss
+  | slot ->
+      t.hit_count <- t.hit_count + 1;
+      touch t slot;
+      if t.ready.(slot) <= now then Hit else In_flight t.ready.(slot)
+
+let insert t ~now ~ready_at addr =
+  ignore now;
+  let line = line_of t addr in
+  match find t line with
+  | slot when slot >= 0 ->
+      (* Refill of a present line: keep the earlier availability. *)
+      if ready_at < t.ready.(slot) then t.ready.(slot) <- ready_at;
+      touch t slot
+  | _ ->
+      let set = line land (t.sets - 1) in
+      let base = set * t.ways in
+      let victim = ref base in
+      for w = 1 to t.ways - 1 do
+        let s = base + w in
+        if t.tags.(s) = -1 && t.tags.(!victim) <> -1 then victim := s
+        else if t.tags.(s) <> -1 && t.tags.(!victim) <> -1 && t.stamp.(s) < t.stamp.(!victim) then
+          victim := s
+      done;
+      t.tags.(!victim) <- line;
+      t.ready.(!victim) <- ready_at;
+      touch t !victim
+
+let resident t ~now addr =
+  let line = line_of t addr in
+  match find t line with -1 -> false | slot -> t.ready.(slot) <= now
+
+let hits t = t.hit_count
+
+let misses t = t.miss_count
+
+let reset_stats t =
+  t.hit_count <- 0;
+  t.miss_count <- 0

@@ -1,0 +1,36 @@
+(** One set-associative cache level with LRU replacement.
+
+    Lines carry a [ready_at] cycle so that in-flight fills started by a
+    prefetch are modeled: a demand access that arrives before the fill
+    completes waits only the remaining cycles (partial hiding). *)
+
+type t
+
+type lookup =
+  | Hit  (** present and ready *)
+  | In_flight of int  (** present, fill completes at the given cycle *)
+  | Miss
+
+val create : name:string -> line_bytes:int -> Memconfig.level_cfg -> t
+
+val name : t -> string
+
+(** Number of lines. *)
+val lines : t -> int
+
+(** [lookup t ~now addr] classifies the access and, on [Hit]/[In_flight],
+    refreshes LRU state. *)
+val lookup : t -> now:int -> int -> lookup
+
+(** [insert t ~now ~ready_at addr] fills the line (evicting LRU). *)
+val insert : t -> now:int -> ready_at:int -> int -> unit
+
+(** Presence test without touching LRU state (used by the §4.1
+    residency oracle). *)
+val resident : t -> now:int -> int -> bool
+
+val hits : t -> int
+
+val misses : t -> int
+
+val reset_stats : t -> unit

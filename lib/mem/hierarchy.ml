@@ -1,0 +1,115 @@
+type level = L1 | L2 | L3 | Dram
+
+let level_name = function L1 -> "L1" | L2 -> "L2" | L3 -> "L3" | Dram -> "DRAM"
+
+type result = { level : level; latency : int; stall : int }
+
+type t = {
+  cfg : Memconfig.t;
+  l1 : Cache.t;
+  l2 : Cache.t;
+  l3 : Cache.t;
+  icache : Cache.t option;
+  stats : Mem_stats.t;
+}
+
+let create cfg =
+  Memconfig.validate cfg;
+  {
+    cfg;
+    l1 = Cache.create ~name:"L1" ~line_bytes:cfg.line_bytes cfg.l1;
+    l2 = Cache.create ~name:"L2" ~line_bytes:cfg.line_bytes cfg.l2;
+    l3 = Cache.create ~name:"L3" ~line_bytes:cfg.line_bytes cfg.l3;
+    icache =
+      (match cfg.icache with
+      | Some c -> Some (Cache.create ~name:"I" ~line_bytes:cfg.line_bytes c)
+      | None -> None);
+    stats = Mem_stats.create ();
+  }
+
+let config t = t.cfg
+
+(* Classify an access without filling: serving level, total latency, and
+   whether the wait came from an in-flight fill. *)
+let probe t ~now addr =
+  match Cache.lookup t.l1 ~now addr with
+  | Cache.Hit -> (L1, t.cfg.l1.latency, false)
+  | Cache.In_flight ra -> (L1, max t.cfg.l1.latency (ra - now), true)
+  | Cache.Miss -> (
+      match Cache.lookup t.l2 ~now addr with
+      | Cache.Hit -> (L2, t.cfg.l2.latency, false)
+      | Cache.In_flight ra -> (L2, max t.cfg.l2.latency (ra - now), true)
+      | Cache.Miss -> (
+          match Cache.lookup t.l3 ~now addr with
+          | Cache.Hit -> (L3, t.cfg.l3.latency, false)
+          | Cache.In_flight ra -> (L3, max t.cfg.l3.latency (ra - now), true)
+          | Cache.Miss -> (Dram, t.cfg.dram_latency, false)))
+
+(* Fill all levels above the serving one. *)
+let fill t ~ready_at ~now level addr =
+  (match level with
+  | L1 -> ()
+  | L2 -> Cache.insert t.l1 ~now ~ready_at addr
+  | L3 ->
+      Cache.insert t.l1 ~now ~ready_at addr;
+      Cache.insert t.l2 ~now ~ready_at addr
+  | Dram ->
+      Cache.insert t.l1 ~now ~ready_at addr;
+      Cache.insert t.l2 ~now ~ready_at addr;
+      Cache.insert t.l3 ~now ~ready_at addr);
+  ()
+
+let access t ~now addr =
+  let level, latency, inflight = probe t ~now addr in
+  let s = t.stats in
+  s.demand_accesses <- s.demand_accesses + 1;
+  (match level with
+  | L1 -> s.l1_hits <- s.l1_hits + 1
+  | L2 -> s.l2_hits <- s.l2_hits + 1
+  | L3 -> s.l3_hits <- s.l3_hits + 1
+  | Dram -> s.dram_accesses <- s.dram_accesses + 1);
+  if inflight then s.inflight_hits <- s.inflight_hits + 1;
+  (* The demand load itself pays [latency]; by the time the core can
+     issue another access, the line is usable, so fill with [now]. *)
+  fill t ~ready_at:now ~now level addr;
+  { level; latency; stall = max 0 (latency - t.cfg.l1.latency) }
+
+let prefetch t ~now addr =
+  let s = t.stats in
+  s.prefetches <- s.prefetches + 1;
+  if Cache.resident t.l1 ~now addr then s.useless_prefetches <- s.useless_prefetches + 1
+  else begin
+    let level, latency, _inflight = probe t ~now addr in
+    match level with
+    | L1 -> ()  (* already in flight into L1; keep the earlier fill *)
+    | L2 | L3 | Dram -> fill t ~ready_at:(now + latency) ~now level addr
+  end
+
+let resident t ~now addr =
+  if Cache.resident t.l1 ~now addr then Some L1
+  else if Cache.resident t.l2 ~now addr then Some L2
+  else if Cache.resident t.l3 ~now addr then Some L3
+  else None
+
+let fetch t ~now pc =
+  match t.icache with
+  | None -> 0
+  | Some ic -> (
+      let addr = pc * 4 in
+      match Cache.lookup ic ~now addr with
+      (* icache fills always complete instantly (ready_at = now), so an
+         In_flight line can only mean the caller's clock restarted:
+         treat it as present *)
+      | Cache.Hit | Cache.In_flight _ -> 0
+      | Cache.Miss ->
+          Cache.insert ic ~now ~ready_at:now addr;
+          (match t.cfg.icache with Some c -> c.latency | None -> 0))
+
+let stats t = t.stats
+
+let reset_stats t =
+  Mem_stats.reset t.stats;
+  Cache.reset_stats t.l1;
+  Cache.reset_stats t.l2;
+  Cache.reset_stats t.l3;
+  match t.icache with Some ic -> Cache.reset_stats ic | None -> ()

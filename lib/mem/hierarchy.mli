@@ -1,0 +1,43 @@
+(** Inclusive three-level cache hierarchy over DRAM.
+
+    [access] performs a demand load: it returns the level that served
+    the request, the total load-to-use latency, and the stall cycles
+    (latency beyond an L1 hit), and fills all levels above the serving
+    one. [prefetch] starts the same fill without blocking: the lines are
+    installed with a future [ready_at], so a later demand access pays
+    only the remaining cycles. *)
+
+type level = L1 | L2 | L3 | Dram
+
+val level_name : level -> string
+
+type result = {
+  level : level;  (** level that served the access *)
+  latency : int;  (** total load-to-use cycles *)
+  stall : int;  (** cycles beyond an L1 hit, i.e. [latency - l1.latency] *)
+}
+
+type t
+
+val create : Memconfig.t -> t
+
+val config : t -> Memconfig.t
+
+val access : t -> now:int -> int -> result
+
+val prefetch : t -> now:int -> int -> unit
+
+(** Deepest-cached test for the §4.1 residency oracle: [Some level] if
+    the line is present *and ready* somewhere on chip. Does not perturb
+    LRU or statistics. *)
+val resident : t -> now:int -> int -> level option
+
+val stats : t -> Mem_stats.t
+
+(** Clears statistics but not cache contents (used to exclude warmup). *)
+val reset_stats : t -> unit
+
+(** [fetch t ~now pc] models instruction fetch of the instruction at
+    index [pc] (4 bytes each): returns the front-end stall in cycles —
+    0 on an icache hit or when no icache is configured. *)
+val fetch : t -> now:int -> int -> int

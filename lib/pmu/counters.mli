@@ -1,0 +1,26 @@
+(** Aggregate (non-sampling) performance counters — the fixed counters
+    every modern PMU exposes. Used for ground truth in tests and for the
+    oracle instrumentation baseline. *)
+
+type t = {
+  mutable instructions : int;
+  mutable loads : int;
+  mutable l1_hits : int;
+  mutable l2_hits : int;
+  mutable l3_hits : int;
+  mutable dram_loads : int;
+  mutable stall_cycles : int;
+  mutable frontend_stall_cycles : int;
+  mutable branches : int;
+  mutable taken_branches : int;
+  mutable ops : int;
+}
+
+val create : unit -> t
+
+(** Hooks that update the counters; compose with other consumers. *)
+val hooks : t -> Stallhide_cpu.Events.t
+
+val reset : t -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,69 @@
+open Stallhide_cpu
+open Stallhide_util
+
+type record = { from_pc : int; to_pc : int; cycle : int }
+
+type t = {
+  depth : int;
+  ring : record array;
+  mutable filled : int;  (* number of valid entries, <= depth *)
+  mutable head : int;  (* next slot to write *)
+  snapshot_period : int;
+  mutable countdown : int;
+  max_snapshots : int;
+  snaps : record array Vec.t;
+}
+
+let dummy = { from_pc = -1; to_pc = -1; cycle = 0 }
+
+let create ?(depth = 32) ?(max_snapshots = 1 lsl 16) ~snapshot_period () =
+  if snapshot_period <= 0 then invalid_arg "Lbr.create: period must be positive";
+  {
+    depth;
+    ring = Array.make depth dummy;
+    filled = 0;
+    head = 0;
+    snapshot_period;
+    countdown = snapshot_period;
+    max_snapshots;
+    snaps = Vec.create ();
+  }
+
+let push t r =
+  t.ring.(t.head) <- r;
+  t.head <- (t.head + 1) mod t.depth;
+  if t.filled < t.depth then t.filled <- t.filled + 1
+
+let snapshot t =
+  if t.filled > 0 && Vec.length t.snaps < t.max_snapshots then begin
+    let out = Array.make t.filled dummy in
+    (* Oldest entry sits at [head] once the ring has wrapped. *)
+    let start = if t.filled = t.depth then t.head else 0 in
+    for i = 0 to t.filled - 1 do
+      out.(i) <- t.ring.((start + i) mod t.depth)
+    done;
+    Vec.push t.snaps out
+  end
+
+let hooks t =
+  let on_branch ~ctx:_ ~pc ~target ~taken ~cycle =
+    if taken then push t { from_pc = pc; to_pc = target; cycle }
+  in
+  let on_retire ~ctx:_ ~pc:_ ~instr:_ ~cycle:_ =
+    t.countdown <- t.countdown - 1;
+    if t.countdown <= 0 then begin
+      snapshot t;
+      t.countdown <- t.snapshot_period
+    end
+  in
+  { Events.nop with on_branch; on_retire }
+
+let snapshots t = Vec.to_list t.snaps
+
+let snapshot_count t = Vec.length t.snaps
+
+let clear t =
+  t.filled <- 0;
+  t.head <- 0;
+  t.countdown <- t.snapshot_period;
+  Vec.clear t.snaps

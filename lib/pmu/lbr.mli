@@ -1,0 +1,25 @@
+(** Last Branch Records (an LBR model).
+
+    Hardware keeps a ring of the last [depth] *taken* branches, each
+    with a cycle timestamp. A profiler samples the ring every
+    [snapshot_period] retired instructions. Two consecutive records in a
+    snapshot delimit a straight-line run: from the target of the first
+    branch to the source of the second — which yields both an edge
+    count and a measured latency for that run. The scavenger
+    instrumentation phase consumes these (via {!Profile}) to estimate
+    basic-block latencies and hot paths, as §3.3 proposes. *)
+
+type record = { from_pc : int; to_pc : int; cycle : int }
+
+type t
+
+val create : ?depth:int -> ?max_snapshots:int -> snapshot_period:int -> unit -> t
+
+val hooks : t -> Stallhide_cpu.Events.t
+
+(** Each snapshot lists records oldest-first. *)
+val snapshots : t -> record array list
+
+val snapshot_count : t -> int
+
+val clear : t -> unit

@@ -1,0 +1,98 @@
+open Stallhide_cpu
+open Stallhide_mem
+open Stallhide_util
+
+type event = Loads_all | L2_miss_loads | L3_miss_loads | Stall_cycles | Frontend_stalls
+
+let event_name = function
+  | Loads_all -> "LOADS_ALL"
+  | L2_miss_loads -> "L2_MISS_LOADS"
+  | L3_miss_loads -> "L3_MISS_LOADS"
+  | Stall_cycles -> "STALL_CYCLES"
+  | Frontend_stalls -> "FRONTEND_STALLS"
+
+type sample = { pc : int; addr : int; stall : int; cycle : int }
+
+type t = {
+  ev : event;
+  sample_period : int;
+  capacity : int;
+  buf : sample Vec.t;
+  mutable countdown : int;
+  mutable dropped : int;
+  mutable occurrences : int;
+}
+
+let create ?(buffer_capacity = 1 lsl 20) ~event ~period () =
+  if period <= 0 then invalid_arg "Pebs.create: period must be positive";
+  {
+    ev = event;
+    sample_period = period;
+    capacity = buffer_capacity;
+    buf = Vec.create ();
+    countdown = period;
+    dropped = 0;
+    occurrences = 0;
+  }
+
+let event t = t.ev
+
+let period t = t.sample_period
+
+let record t s =
+  if Vec.length t.buf < t.capacity then Vec.push t.buf s else t.dropped <- t.dropped + 1
+
+(* [count t n sample] advances the event counter by [n] occurrences and
+   records one sample per period boundary crossed. *)
+let count t n sample =
+  t.occurrences <- t.occurrences + n;
+  if n >= t.countdown then begin
+    (* an increment spanning k period boundaries fires k samples *)
+    let k = 1 + ((n - t.countdown) / t.sample_period) in
+    for _ = 1 to k do
+      record t sample
+    done;
+    let rem = (n - t.countdown) mod t.sample_period in
+    t.countdown <- t.sample_period - rem
+  end
+  else t.countdown <- t.countdown - n
+
+let hooks t =
+  let on_load (info : Events.load_info) =
+    let sample = { pc = info.pc; addr = info.addr; stall = info.stall; cycle = info.cycle } in
+    match (t.ev, info.level) with
+    | Loads_all, _ -> count t 1 sample
+    | L2_miss_loads, (Hierarchy.L3 | Hierarchy.Dram) -> count t 1 sample
+    | L3_miss_loads, Hierarchy.Dram -> count t 1 sample
+    | (L2_miss_loads | L3_miss_loads), (Hierarchy.L1 | Hierarchy.L2) -> ()
+    | L3_miss_loads, Hierarchy.L3 -> ()
+    | (Stall_cycles | Frontend_stalls), _ -> ()
+  in
+  let on_stall ~ctx:_ ~pc ~cycles ~cycle =
+    match t.ev with
+    | Stall_cycles -> count t cycles { pc; addr = 0; stall = cycles; cycle }
+    | Loads_all | L2_miss_loads | L3_miss_loads | Frontend_stalls -> ()
+  in
+  let on_frontend_stall ~ctx:_ ~pc ~cycles ~cycle =
+    (* the generic stalled-cycles event cannot tell causes apart *)
+    match t.ev with
+    | Stall_cycles | Frontend_stalls -> count t cycles { pc; addr = 0; stall = cycles; cycle }
+    | Loads_all | L2_miss_loads | L3_miss_loads -> ()
+  in
+  { Events.nop with on_load; on_stall; on_frontend_stall }
+
+let samples t = Vec.to_list t.buf
+
+let sample_count t = Vec.length t.buf
+
+let dropped t = t.dropped
+
+let occurrences t = t.occurrences
+
+let clear t =
+  Vec.clear t.buf;
+  t.countdown <- t.sample_period;
+  t.dropped <- 0;
+  t.occurrences <- 0
+
+let overhead_cycles ?(per_sample = 40) t = per_sample * (Vec.length t.buf + t.dropped)

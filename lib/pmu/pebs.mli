@@ -1,0 +1,53 @@
+(** Precise event-based sampling (a PEBS model).
+
+    A unit counts occurrences of one hardware event and records a
+    *precise* sample — carrying the exact pc and data address of the
+    triggering instruction — every [period] occurrences. Samples land in
+    a bounded in-memory buffer; once full, further samples are dropped
+    and counted (the buffer-size/overhead trade-off of §3.2).
+
+    Events:
+    - [Loads_all] — every retired load (the execution-count estimator);
+    - [L2_miss_loads] — loads served beyond L2 (from L3 or DRAM);
+    - [L3_miss_loads] — loads served from DRAM;
+    - [Stall_cycles] — counts stall *cycles* of any cause (memory and
+      front-end: like the real event the paper's footnote discusses, it
+      "does not indicate causal relationship"); the sample attributes
+      them to the stalling pc.
+    - [Frontend_stalls] — counts only instruction-fetch stall cycles;
+      §3.2's "additional events ... to filter out stalls due to other
+      reasons" subtracts these from [Stall_cycles]. *)
+
+type event = Loads_all | L2_miss_loads | L3_miss_loads | Stall_cycles | Frontend_stalls
+
+val event_name : event -> string
+
+type sample = { pc : int; addr : int; stall : int; cycle : int }
+
+type t
+
+val create : ?buffer_capacity:int -> event:event -> period:int -> unit -> t
+
+val event : t -> event
+
+val period : t -> int
+
+val hooks : t -> Stallhide_cpu.Events.t
+
+val samples : t -> sample list
+
+val sample_count : t -> int
+
+(** Samples lost to buffer overflow. *)
+val dropped : t -> int
+
+(** Total event occurrences observed (for overhead accounting). *)
+val occurrences : t -> int
+
+val clear : t -> unit
+
+(** Estimated profiling-run overhead in cycles: samples taken times the
+    per-sample microcode/drain cost (default 40 cycles, the published
+    PEBS ballpark). This is the quantity the paper's sampling-frequency
+    trade-off (§3.2) balances against profile freshness. *)
+val overhead_cycles : ?per_sample:int -> t -> int

@@ -1,0 +1,120 @@
+open Stallhide_isa
+open Stallhide_cpu
+
+type config = { engine : Engine.config; switch : Switch_cost.t; drain : bool }
+
+let default_config =
+  { engine = Engine.default_config; switch = Switch_cost.coroutine; drain = true }
+
+type result = {
+  sched : Scheduler.result;
+  primary_done_at : int;
+  scavenger_switches : int;
+}
+
+let run ?(config = default_config) ?(max_cycles = max_int) ?tracer hier mem ~primary ~scavengers =
+  primary.Context.mode <- Context.Primary;
+  Array.iter (fun s -> s.Context.mode <- Context.Scavenger) scavengers;
+  let n = Array.length scavengers in
+  let clock = ref 0 in
+  let switches = ref 0 in
+  let switch_cycles = ref 0 in
+  let scav_switches = ref 0 in
+  let faults = ref [] in
+  let primary_done_at = ref (-1) in
+  let charge cost =
+    incr switches;
+    switch_cycles := !switch_cycles + cost;
+    clock := !clock + cost
+  in
+  let rr = ref 0 in
+  (* Next ready scavenger in rotation; -1 when the pool is dry. *)
+  let next_scavenger () =
+    let rec loop k =
+      if k = n then -1
+      else
+        let j = (!rr + k) mod n in
+        if Context.is_ready scavengers.(j) then begin
+          rr := (j + 1) mod n;
+          j
+        end
+        else loop (k + 1)
+    in
+    loop 0
+  in
+  (* Fill the primary's stall: run scavengers until one reaches a
+     scavenger-phase yield (timely return) or the pool is exhausted. *)
+  let rec hide budget_guard =
+    if budget_guard = 0 || !clock >= max_cycles then ()
+    else
+      match next_scavenger () with
+      | -1 -> ()
+      | j -> (
+          incr scav_switches;
+          let s = scavengers.(j) in
+          match Scheduler.traced ?tracer config.engine hier mem ~clock ~deadline:max_cycles s with
+          | Engine.Yielded (Instr.Scavenger, pc) ->
+              charge (Switch_cost.at_site config.switch s.Context.program pc)
+          | Engine.Yielded (Instr.Primary, pc) ->
+              (* Scavenger hit its own miss: hand the core to the next one. *)
+              charge (Switch_cost.at_site config.switch s.Context.program pc);
+              hide (budget_guard - 1)
+          | Engine.Halted ->
+              charge config.switch.Switch_cost.base;
+              hide (budget_guard - 1)
+          | Engine.Out_of_budget -> ()
+          | Engine.Fault m ->
+              faults := m :: !faults;
+              hide (budget_guard - 1))
+  in
+  let rec primary_loop () =
+    if !clock < max_cycles then
+      match Scheduler.traced ?tracer config.engine hier mem ~clock ~deadline:max_cycles primary with
+      | Engine.Yielded (_, pc) ->
+          charge (Switch_cost.at_site config.switch primary.Context.program pc);
+          hide (2 * n);
+          primary_loop ()
+      | Engine.Halted -> primary_done_at := !clock
+      | Engine.Out_of_budget -> ()
+      | Engine.Fault m -> faults := m :: !faults
+  in
+  primary_loop ();
+  if config.drain then begin
+    (* Round-robin the remaining scavengers among themselves. *)
+    let continue = ref true in
+    while !continue && !clock < max_cycles do
+      match next_scavenger () with
+      | -1 -> continue := false
+      | j -> (
+          let s = scavengers.(j) in
+          match Scheduler.traced ?tracer config.engine hier mem ~clock ~deadline:max_cycles s with
+          | Engine.Yielded (_, pc) ->
+              incr scav_switches;
+              charge (Switch_cost.at_site config.switch s.Context.program pc)
+          | Engine.Halted -> ()
+          | Engine.Out_of_budget -> continue := false
+          | Engine.Fault m -> faults := m :: !faults)
+    done
+  end;
+  let all = Array.append [| primary |] scavengers in
+  let stall = Array.fold_left (fun acc c -> acc + c.Context.stall_cycles) 0 all in
+  let instructions = Array.fold_left (fun acc c -> acc + c.Context.instructions) 0 all in
+  let completed =
+    Array.fold_left
+      (fun acc c -> match c.Context.status with Context.Done -> acc + 1 | _ -> acc)
+      0 all
+  in
+  {
+    sched =
+      {
+        Scheduler.cycles = !clock;
+        stall;
+        switch_cycles = !switch_cycles;
+        switches = !switches;
+        instructions;
+        completed;
+        faults = List.rev !faults;
+      };
+    primary_done_at = !primary_done_at;
+    scavenger_switches = !scav_switches;
+  }

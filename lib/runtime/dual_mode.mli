@@ -1,0 +1,40 @@
+(** Dual-mode (asymmetric-concurrency) execution, §3.3.
+
+    One latency-sensitive *primary* coroutine runs in primary mode; a
+    pool of *scavenger*-mode coroutines fills its stalls:
+
+    - when the primary hits a primary-phase yield (a likely miss), the
+      scheduler switches to a scavenger;
+    - a scavenger runs until its first yield of any kind. A
+      scavenger-phase yield means "I have run long enough" — control
+      returns to the primary. A primary-phase yield means the scavenger
+      hit its *own* likely miss too early, so the scheduler scales up:
+      it dispatches the next scavenger instead (on-demand scaling);
+    - when the pool is exhausted (or empty), control returns to the
+      primary regardless.
+
+    After the primary halts, the remaining scavengers optionally drain
+    round-robin ([drain], default true). *)
+
+open Stallhide_cpu
+
+
+type config = { engine : Engine.config; switch : Switch_cost.t; drain : bool }
+
+val default_config : config
+
+type result = {
+  sched : Scheduler.result;
+  primary_done_at : int;  (** clock when the primary halted; -1 if it did not *)
+  scavenger_switches : int;  (** dispatches that went to a scavenger *)
+}
+
+val run :
+  ?config:config ->
+  ?max_cycles:int ->
+  ?tracer:Tracer.t ->
+  Stallhide_mem.Hierarchy.t ->
+  Stallhide_mem.Address_space.t ->
+  primary:Context.t ->
+  scavengers:Context.t array ->
+  result

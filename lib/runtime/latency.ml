@@ -1,0 +1,59 @@
+open Stallhide_cpu
+open Stallhide_util
+
+type recorder = { last : (int, int) Hashtbl.t; lats : (int, int Vec.t) Hashtbl.t }
+
+let recorder () = { last = Hashtbl.create 16; lats = Hashtbl.create 16 }
+
+let vec_of r ctx =
+  match Hashtbl.find_opt r.lats ctx with
+  | Some v -> v
+  | None ->
+      let v = Vec.create () in
+      Hashtbl.add r.lats ctx v;
+      v
+
+let hooks r =
+  let on_opmark ~ctx ~pc:_ ~cycle =
+    (match Hashtbl.find_opt r.last ctx with
+    | Some prev -> Vec.push (vec_of r ctx) (cycle - prev)
+    | None -> ()  (* first opmark arms the recorder: no defined start *));
+    Hashtbl.replace r.last ctx cycle
+  in
+  { Events.nop with on_opmark }
+
+let of_ctx r ctx = match Hashtbl.find_opt r.lats ctx with Some v -> Vec.to_list v | None -> []
+
+let all r = Hashtbl.fold (fun _ v acc -> Vec.to_list v @ acc) r.lats []
+
+type summary = { count : int; mean : float; p50 : int; p90 : int; p99 : int; max : int }
+
+let percentile xs q =
+  match xs with
+  | [] -> invalid_arg "Latency.percentile: empty"
+  | _ ->
+      let a = Array.of_list xs in
+      Array.sort compare a;
+      let n = Array.length a in
+      let idx = int_of_float (ceil (q *. float_of_int n)) - 1 in
+      a.(max 0 (min (n - 1) idx))
+
+let summarize xs =
+  match xs with
+  | [] -> None
+  | _ ->
+      let n = List.length xs in
+      let sum = List.fold_left ( + ) 0 xs in
+      Some
+        {
+          count = n;
+          mean = float_of_int sum /. float_of_int n;
+          p50 = percentile xs 0.50;
+          p90 = percentile xs 0.90;
+          p99 = percentile xs 0.99;
+          max = List.fold_left max min_int xs;
+        }
+
+let pp_summary fmt s =
+  Format.fprintf fmt "n=%d mean=%.1f p50=%d p90=%d p99=%d max=%d" s.count s.mean s.p50 s.p90
+    s.p99 s.max

@@ -1,0 +1,32 @@
+(** Per-operation latency recording and summarizing.
+
+    A recorder turns [Opmark] retirements into operation latencies: for
+    each context, the latency of an operation is the cycle distance from
+    the previous opmark; the first opmark of a context only arms the
+    recorder (a context's dispatch time is scheduler business the PMU
+    cannot see). Latency includes time spent yielded away — which is
+    precisely the latency impact §3.3's asymmetric concurrency is
+    designed to control. *)
+
+type recorder
+
+val recorder : unit -> recorder
+
+(** Hooks to compose into the engine configuration. *)
+val hooks : recorder -> Stallhide_cpu.Events.t
+
+(** Latencies recorded for context [ctx], oldest first. *)
+val of_ctx : recorder -> int -> int list
+
+(** All latencies across contexts. *)
+val all : recorder -> int list
+
+type summary = { count : int; mean : float; p50 : int; p90 : int; p99 : int; max : int }
+
+val summarize : int list -> summary option
+
+(** [percentile xs q] with [q] in [0,1]; [xs] need not be sorted.
+    @raise Invalid_argument on an empty list. *)
+val percentile : int list -> float -> int
+
+val pp_summary : Format.formatter -> summary -> unit

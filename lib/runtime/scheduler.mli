@@ -1,0 +1,64 @@
+(** Cooperative coroutine schedulers over the simulated CPU.
+
+    - {!run_sequential} — no interleaving: yields resume the same
+      context at zero cost (the "do nothing" baseline that exposes
+      every stall).
+    - {!run_round_robin} — symmetric batch interleaving in the style of
+      CoroBase / killer-nanoseconds: on every yield, switch (paying the
+      liveness-aware switch cost) to the next runnable coroutine.
+
+    All schedulers share one clock, hierarchy and memory image across
+    contexts, so coroutines contend for cache exactly as they would on
+    one core. *)
+
+open Stallhide_cpu
+
+
+type result = {
+  cycles : int;  (** final clock value *)
+  stall : int;  (** memory stall cycles paid across contexts *)
+  switch_cycles : int;
+  switches : int;
+  instructions : int;
+  completed : int;  (** contexts that reached [Halt] *)
+  faults : string list;
+}
+
+(** [busy r] = [cycles - stall - switch_cycles]: cycles spent executing
+    instructions (incl. L1 hits and condition checks). *)
+val busy : result -> int
+
+val efficiency : result -> float
+
+val run_sequential :
+  ?engine:Engine.config ->
+  ?max_cycles:int ->
+  ?tracer:Tracer.t ->
+  Stallhide_mem.Hierarchy.t ->
+  Stallhide_mem.Address_space.t ->
+  Context.t array ->
+  result
+
+val run_round_robin :
+  ?engine:Engine.config ->
+  ?max_cycles:int ->
+  ?tracer:Tracer.t ->
+  switch:Switch_cost.t ->
+  Stallhide_mem.Hierarchy.t ->
+  Stallhide_mem.Address_space.t ->
+  Context.t array ->
+  result
+
+val pp_result : Format.formatter -> result -> unit
+
+(** [traced ?tracer engine hier mem ~clock ~deadline ctx] runs the
+    engine and records the dispatch span (scheduler building block). *)
+val traced :
+  ?tracer:Tracer.t ->
+  Engine.config ->
+  Stallhide_mem.Hierarchy.t ->
+  Stallhide_mem.Address_space.t ->
+  clock:int ref ->
+  deadline:int ->
+  Context.t ->
+  Engine.stop

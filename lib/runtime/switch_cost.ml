@@ -1,0 +1,17 @@
+open Stallhide_isa
+
+type t = { base : int; per_reg : int; full_regs : int }
+
+let coroutine = { base = 6; per_reg = 1; full_regs = Reg.count }
+
+let kernel_thread = { base = 1200; per_reg = 0; full_regs = Reg.count }
+
+let os_process = { base = 2000; per_reg = 0; full_regs = Reg.count }
+
+let cost t ~live =
+  let saved = match live with Some n -> n | None -> t.full_regs in
+  t.base + (t.per_reg * saved)
+
+let at_site t prog pc =
+  if pc < 0 || pc >= Program.length prog then cost t ~live:None
+  else cost t ~live:(Program.annot prog pc).Program.live_regs

@@ -1,0 +1,28 @@
+(** Context-switch cost models.
+
+    A cooperative coroutine switch saves and restores only the registers
+    that are live at the yield site (when the liveness annotation is
+    present), so its cost is [base + per_reg * saved]. The OS-level
+    models are flat costs matching published measurements (hundreds of
+    nanoseconds to microseconds at ~2 GHz). *)
+
+open Stallhide_isa
+
+type t = { base : int; per_reg : int; full_regs : int }
+
+(** Coroutine switch: base 6 + 1/reg; 22 cycles for a full 16-register
+    save (≈ 10 ns at 2 GHz, the Boost fcontext ballpark). *)
+val coroutine : t
+
+(** ~1200 cycles (kernel thread switch, same address space). *)
+val kernel_thread : t
+
+(** ~2000 cycles (process switch, ≈ 1 µs at 2 GHz). *)
+val os_process : t
+
+(** [cost t ~live] with [live = None] charges a full save. *)
+val cost : t -> live:int option -> int
+
+(** Cost of a switch at yield site [pc], honouring the liveness
+    annotation left by the instrumentation. *)
+val at_site : t -> Program.t -> int -> int

@@ -1,0 +1,53 @@
+open Stallhide_util
+
+type span = { ctx : int; start : int; stop : int }
+
+type t = { buf : span Vec.t; max_spans : int; mutable dropped : int }
+
+let create ?(max_spans = 65536) () = { buf = Vec.create (); max_spans; dropped = 0 }
+
+let record t ~ctx ~start ~stop =
+  if stop > start then begin
+    if Vec.length t.buf < t.max_spans then Vec.push t.buf { ctx; start; stop }
+    else t.dropped <- t.dropped + 1
+  end
+
+let spans t = Vec.to_list t.buf
+
+let span_count t = Vec.length t.buf
+
+let dropped t = t.dropped
+
+let busy_of t ctx =
+  let acc = ref 0 in
+  Vec.iter (fun s -> if s.ctx = ctx then acc := !acc + (s.stop - s.start)) t.buf;
+  !acc
+
+let render ?(width = 72) t =
+  if Vec.is_empty t.buf then ""
+  else begin
+    let t_end = ref 0 in
+    let ids = Hashtbl.create 8 in
+    Vec.iter
+      (fun s ->
+        t_end := max !t_end s.stop;
+        Hashtbl.replace ids s.ctx ())
+      t.buf;
+    let ids = List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) ids []) in
+    let scale = max 1 ((!t_end + width - 1) / width) in
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf (Printf.sprintf "timeline: %d cycles, %d cycles/col\n" !t_end scale);
+    List.iter
+      (fun ctx ->
+        let row = Bytes.make width '.' in
+        Vec.iter
+          (fun s ->
+            if s.ctx = ctx then
+              for col = s.start / scale to min (width - 1) ((s.stop - 1) / scale) do
+                Bytes.set row col '#'
+              done)
+          t.buf;
+        Buffer.add_string buf (Printf.sprintf "ctx %3d  %s\n" ctx (Bytes.to_string row)))
+      ids;
+    Buffer.contents buf
+  end

@@ -1,0 +1,251 @@
+open Stallhide_isa
+open Stallhide_cpu
+open Stallhide_runtime
+
+type policy = Run_to_completion | Side_integration | Event_aware
+
+let policy_name = function
+  | Run_to_completion -> "run-to-completion"
+  | Side_integration -> "side-integration"
+  | Event_aware -> "event-aware"
+
+type config = {
+  policy : policy;
+  switch : Switch_cost.t;
+  engine : Engine.config;
+  max_active : int;
+}
+
+let default_config =
+  {
+    policy = Side_integration;
+    switch = Switch_cost.coroutine;
+    engine = Engine.default_config;
+    max_active = 16;
+  }
+
+type result = {
+  cycles : int;
+  idle : int;
+  switches : int;
+  switch_cycles : int;
+  stall : int;
+  completed : int;
+  faulted : int;
+  latency_sojourns : int list;
+  batch_sojourns : int list;
+}
+
+let efficiency r =
+  if r.cycles = 0 then 1.0
+  else
+    float_of_int (r.cycles - r.idle - r.switch_cycles - r.stall) /. float_of_int r.cycles
+
+let run ?(config = default_config) ?(max_cycles = max_int) hier mem tasks =
+  let rec sorted = function
+    | a :: (b :: _ as rest) -> a.Task.arrival <= b.Task.arrival && sorted rest
+    | [ _ ] | [] -> true
+  in
+  if not (sorted tasks) then invalid_arg "Server.run: tasks must be sorted by arrival";
+  let clock = ref 0 in
+  let idle = ref 0 in
+  let switches = ref 0 in
+  let switch_cycles = ref 0 in
+  let pending = ref tasks in
+  let rq : Task.t Ready_queue.t = Ready_queue.create () in
+  let active : Task.t Stallhide_util.Vec.t = Stallhide_util.Vec.create () in
+  let completed = ref 0 in
+  let faulted = ref 0 in
+  let done_tasks = ref [] in
+  let absorb () =
+    let rec go () =
+      match !pending with
+      | t :: rest when t.Task.arrival <= !clock ->
+          pending := rest;
+          Ready_queue.push rq t;
+          go ()
+      | _ -> ()
+    in
+    go ()
+  in
+  let set_mode (t : Task.t) =
+    t.Task.ctx.Context.mode <-
+      (match (config.policy, t.Task.class_) with
+      | Event_aware, Task.Batch -> Context.Scavenger
+      | (Event_aware | Side_integration | Run_to_completion), _ -> Context.Primary)
+  in
+  let admit () =
+    absorb ();
+    (* The event-aware scheduler also admits by class: a queued
+       latency task must not wait behind batch arrivals (stable within
+       each class). *)
+    if config.policy = Event_aware then begin
+      let all = Ready_queue.peek_all rq in
+      Ready_queue.clear rq;
+      let lat, batch = List.partition (fun (t : Task.t) -> t.Task.class_ = Task.Latency) all in
+      List.iter (Ready_queue.push rq) (lat @ batch)
+    end;
+    let cap = match config.policy with Run_to_completion -> 1 | _ -> config.max_active in
+    let rec go () =
+      if Stallhide_util.Vec.length active < cap then
+        match Ready_queue.pop_opt rq with
+        | Some t ->
+            set_mode t;
+            Stallhide_util.Vec.push active t;
+            go ()
+        | None -> ()
+    in
+    go ()
+  in
+  let remove_inactive () =
+    let live = Stallhide_util.Vec.create () in
+    Stallhide_util.Vec.iter
+      (fun (t : Task.t) ->
+        match t.Task.ctx.Context.status with
+        | Context.Ready -> Stallhide_util.Vec.push live t
+        | Context.Done ->
+            t.Task.finished_at <- !clock;
+            incr completed;
+            done_tasks := t :: !done_tasks
+        | Context.Faulted _ ->
+            t.Task.finished_at <- !clock;
+            incr faulted;
+            done_tasks := t :: !done_tasks)
+      active;
+    Stallhide_util.Vec.clear active;
+    Stallhide_util.Vec.iter (Stallhide_util.Vec.push active) live
+  in
+  let charge (t : Task.t) pc =
+    incr switches;
+    let c = Switch_cost.at_site config.switch t.Task.ctx.Context.program pc in
+    switch_cycles := !switch_cycles + c;
+    clock := !clock + c
+  in
+  let charge_base () =
+    incr switches;
+    switch_cycles := !switch_cycles + config.switch.Switch_cost.base;
+    clock := !clock + config.switch.Switch_cost.base
+  in
+  let dispatch (t : Task.t) =
+    if t.Task.started_at < 0 then t.Task.started_at <- !clock;
+    Engine.run config.engine hier mem ~clock ~deadline:max_cycles t.Task.ctx
+  in
+  (* Event-aware: batch tasks fill a latency task's stall until one of
+     them reaches a scavenger-phase yield. *)
+  let rr = ref 0 in
+  let batch_at k =
+    let n = Stallhide_util.Vec.length active in
+    let rec find j count =
+      if count = n then None
+      else
+        let t = Stallhide_util.Vec.get active (j mod n) in
+        if t.Task.class_ = Task.Batch && Context.is_ready t.Task.ctx then Some (j mod n)
+        else find (j + 1) (count + 1)
+    in
+    find k 0
+  in
+  let rec hide guard =
+    if guard > 0 && !clock < max_cycles then
+      match batch_at !rr with
+      | None -> ()
+      | Some j -> (
+          rr := j + 1;
+          let t = Stallhide_util.Vec.get active j in
+          match dispatch t with
+          | Engine.Yielded (Instr.Scavenger, pc) -> charge t pc
+          | Engine.Yielded (Instr.Primary, pc) ->
+              charge t pc;
+              hide (guard - 1)
+          | Engine.Halted | Engine.Fault _ ->
+              charge_base ();
+              hide (guard - 1)
+          | Engine.Out_of_budget -> ())
+  in
+  let oldest_latency () =
+    let best = ref None in
+    Stallhide_util.Vec.iter
+      (fun (t : Task.t) ->
+        if t.Task.class_ = Task.Latency && Context.is_ready t.Task.ctx then
+          match !best with
+          | Some (b : Task.t) when b.Task.arrival <= t.Task.arrival -> ()
+          | _ -> best := Some t)
+      active;
+    !best
+  in
+  (* Main loop: one dispatch decision per iteration. *)
+  let continue = ref true in
+  while
+    !continue && !clock < max_cycles
+    && (Stallhide_util.Vec.length active > 0 || (not (Ready_queue.is_empty rq)) || !pending <> [])
+  do
+    admit ();
+    if Stallhide_util.Vec.length active = 0 then begin
+      (* nothing runnable: jump to the next arrival *)
+      match !pending with
+      | [] -> continue := false
+      | t :: _ ->
+          idle := !idle + (t.Task.arrival - !clock);
+          clock := t.Task.arrival
+    end
+    else begin
+      (match config.policy with
+      | Run_to_completion ->
+          let t = Stallhide_util.Vec.get active 0 in
+          let rec go () =
+            match dispatch t with
+            | Engine.Yielded _ -> go ()  (* scheduler is event-agnostic: resume free *)
+            | Engine.Halted | Engine.Fault _ | Engine.Out_of_budget -> ()
+          in
+          go ()
+      | Side_integration -> (
+          let n = Stallhide_util.Vec.length active in
+          let j = !rr mod n in
+          rr := j + 1;
+          let t = Stallhide_util.Vec.get active j in
+          match dispatch t with
+          | Engine.Yielded (_, pc) -> if n > 1 || not (Ready_queue.is_empty rq) then charge t pc
+          | Engine.Halted | Engine.Fault _ | Engine.Out_of_budget -> ())
+      | Event_aware -> (
+          match oldest_latency () with
+          | Some t -> (
+              match dispatch t with
+              | Engine.Yielded (_, pc) ->
+                  charge t pc;
+                  hide (2 * Stallhide_util.Vec.length active)
+              | Engine.Halted | Engine.Fault _ | Engine.Out_of_budget -> ())
+          | None -> (
+              (* batch-only periods behave like symmetric interleaving *)
+              match batch_at !rr with
+              | None -> ()
+              | Some j -> (
+                  rr := j + 1;
+                  let t = Stallhide_util.Vec.get active j in
+                  match dispatch t with
+                  | Engine.Yielded (_, pc) -> charge t pc
+                  | Engine.Halted | Engine.Fault _ | Engine.Out_of_budget -> ()))));
+      remove_inactive ()
+    end
+  done;
+  let stall =
+    List.fold_left (fun acc (t : Task.t) -> acc + t.Task.ctx.Context.stall_cycles)
+      (Stallhide_util.Vec.to_list active
+      |> List.fold_left (fun acc (t : Task.t) -> acc + t.Task.ctx.Context.stall_cycles) 0)
+      !done_tasks
+  in
+  let sojourns cls =
+    List.filter_map
+      (fun (t : Task.t) -> if t.Task.class_ = cls then Task.sojourn t else None)
+      !done_tasks
+    |> List.rev
+  in
+  {
+    cycles = !clock;
+    idle = !idle;
+    switches = !switches;
+    switch_cycles = !switch_cycles;
+    stall;
+    completed = !completed;
+    faulted = !faulted;
+    latency_sojourns = sojourns Task.Latency;
+    batch_sojourns = sojourns Task.Batch;
+  }

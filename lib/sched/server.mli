@@ -1,0 +1,54 @@
+(** A single-core task server: open-loop arrivals of µs-scale tasks,
+    scheduled under one of three policies (§4.2):
+
+    - [Run_to_completion] — an event-agnostic scheduler: tasks run FCFS
+      and yields are ignored (resumed in place, free); every stall is
+      exposed.
+    - [Side_integration] — the paper's first integration option: the
+      scheduler keeps dispatch control but exposes its ready set, so
+      the stall-hiding mechanism can switch to another admitted task at
+      every yield (symmetric interleaving across classes).
+    - [Event_aware] — the second option: the scheduler itself
+      understands short events. Latency-class tasks run in primary
+      mode and are serviced FCFS; batch-class tasks run in scavenger
+      mode and fill their stalls, returning the core at scavenger
+      yields.
+
+    Sojourn time (completion − arrival) per class is the figure of
+    merit, next to core efficiency. *)
+
+open Stallhide_cpu
+open Stallhide_mem
+open Stallhide_runtime
+
+type policy = Run_to_completion | Side_integration | Event_aware
+
+val policy_name : policy -> string
+
+type config = {
+  policy : policy;
+  switch : Switch_cost.t;
+  engine : Engine.config;
+  max_active : int;  (** admission bound on concurrently-live tasks *)
+}
+
+val default_config : config
+
+type result = {
+  cycles : int;
+  idle : int;  (** core idle waiting for arrivals *)
+  switches : int;
+  switch_cycles : int;
+  stall : int;
+  completed : int;
+  faulted : int;
+  latency_sojourns : int list;
+  batch_sojourns : int list;
+}
+
+val efficiency : result -> float
+
+(** Tasks must be sorted by arrival time.
+    @raise Invalid_argument otherwise. *)
+val run :
+  ?config:config -> ?max_cycles:int -> Hierarchy.t -> Address_space.t -> Task.t list -> result

@@ -1,0 +1,27 @@
+(** Growable array (the standard library gains [Dynarray] only in 5.2). *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val length : 'a t -> int
+
+val push : 'a t -> 'a -> unit
+
+val get : 'a t -> int -> 'a
+
+val set : 'a t -> int -> 'a -> unit
+
+(** [to_array v] copies the contents into a fresh array. *)
+val to_array : 'a t -> 'a array
+
+val to_list : 'a t -> 'a list
+
+val iter : ('a -> unit) -> 'a t -> unit
+
+val clear : 'a t -> unit
+
+val is_empty : 'a t -> bool
+
+(** [of_list xs] builds a vector holding the elements of [xs] in order. *)
+val of_list : 'a list -> 'a t

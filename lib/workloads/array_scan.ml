@@ -1,0 +1,43 @@
+open Stallhide_isa
+open Stallhide_mem
+
+let make ?image ?(manual = false) ?(lanes = 8) ?(block_words = 64) ?(ops = 500) ~seed () =
+  if lanes <= 0 || block_words <= 0 || ops <= 0 then invalid_arg "Array_scan.make: bad parameters";
+  let st = Random.State.make [| seed; 0x27d4eb2f |] in
+  let words_per_lane = block_words * ops in
+  let bytes = (lanes * words_per_lane * 8) + (4 * Gen_util.line) in
+  let image = match image with Some im -> im | None -> Address_space.create ~bytes in
+  let (_ : int) = Address_space.alloc image ~bytes:Gen_util.line in
+  let lane_inits =
+    Array.init lanes (fun _ ->
+        let base = Address_space.alloc image ~bytes:(words_per_lane * 8) in
+        for i = 0 to words_per_lane - 1 do
+          Address_space.store image (base + (i * 8)) (Random.State.int st 1000)
+        done;
+        [ (Reg.r1, base); (Reg.r2, ops) ])
+  in
+  let b = Builder.create () in
+  Builder.label b "op";
+  Builder.movi b Reg.r4 block_words;
+  Builder.label b "inner";
+  if manual then begin
+    Builder.prefetch b Reg.r1 0;
+    Builder.yield b Instr.Primary
+  end;
+  Builder.load b Reg.r5 Reg.r1 0;
+  Builder.binop b Instr.Add Reg.r15 Reg.r15 (Instr.Reg Reg.r5);
+  Builder.addi b Reg.r1 Reg.r1 8;
+  Builder.binop b Instr.Sub Reg.r4 Reg.r4 (Instr.Imm 1);
+  Builder.branch b Instr.Gt Reg.r4 (Instr.Imm 0) "inner";
+  Builder.opmark b;
+  Builder.binop b Instr.Sub Reg.r2 Reg.r2 (Instr.Imm 1);
+  Builder.branch b Instr.Gt Reg.r2 (Instr.Imm 0) "op";
+  Builder.halt b;
+  {
+    Workload.name = (if manual then "array-scan/manual" else "array-scan");
+    program = Builder.assemble b;
+    image;
+    lanes = lane_inits;
+    ops_per_lane = ops;
+    reset = Workload.no_reset;
+  }

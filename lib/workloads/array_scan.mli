@@ -1,0 +1,22 @@
+(** Sequential array scan — the cache-friendly control workload.
+
+    One operation sums [block_words] consecutive words (only one word
+    in eight starts a new line, so the per-load miss probability is low
+    and mostly served by the next levels, not DRAM-bound pointer
+    chasing). A profile-guided policy should leave most of these loads
+    uninstrumented; the [manual] variant models a naive developer
+    yielding on every load, paying overhead for hits (§3.2's
+    trade-off).
+
+    Registers: r1 = cursor, r2 = remaining ops, r4 = inner counter,
+    r15 = accumulator. *)
+
+val make :
+  ?image:Stallhide_mem.Address_space.t ->
+  ?manual:bool ->
+  ?lanes:int ->
+  ?block_words:int ->
+  ?ops:int ->
+  seed:int ->
+  unit ->
+  Workload.t

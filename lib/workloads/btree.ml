@@ -1,0 +1,77 @@
+open Stallhide_isa
+open Stallhide_mem
+
+let make ?image ?(manual = false) ?(lanes = 8) ?(keys = 8192) ?(ops = 2000) ~seed () =
+  if lanes <= 0 || keys <= 1 || ops <= 0 then invalid_arg "Btree.make: bad parameters";
+  let st = Random.State.make [| seed; 0x2545f491 |] in
+  let key_lines_per_lane = (ops + 7) / 8 in
+  let bytes =
+    (keys * Gen_util.line) + (lanes * key_lines_per_lane * Gen_util.line) + (4 * Gen_util.line)
+  in
+  let image = match image with Some im -> im | None -> Address_space.create ~bytes in
+  let (_ : int) = Address_space.alloc image ~bytes:Gen_util.line in
+  let nodes = Address_space.alloc image ~bytes:(keys * Gen_util.line) in
+  let node i = nodes + (i * Gen_util.line) in
+  (* Node layout: +0 key, +8 left, +16 right, +24 value. *)
+  let key_vals = Array.init keys (fun i -> (i * 2) + 1) in
+  Gen_util.shuffle st key_vals;
+  let root = node 0 in
+  Address_space.store image root key_vals.(0);
+  Address_space.store image (root + 24) (key_vals.(0) * 3);
+  for i = 1 to keys - 1 do
+    let addr = node i in
+    let k = key_vals.(i) in
+    Address_space.store image addr k;
+    Address_space.store image (addr + 24) (k * 3);
+    let rec place cur =
+      let ck = Address_space.load image cur in
+      let slot = if k < ck then cur + 8 else cur + 16 in
+      let child = Address_space.load image slot in
+      if child = 0 then Address_space.store image slot addr else place child
+    in
+    place root
+  done;
+  let lane_inits =
+    Array.init lanes (fun _ ->
+        let base = Address_space.alloc image ~bytes:(key_lines_per_lane * Gen_util.line) in
+        for i = 0 to ops - 1 do
+          Address_space.store image (base + (i * 8)) key_vals.(Random.State.int st keys)
+        done;
+        [ (Reg.r1, base); (Reg.r2, ops); (Reg.r3, root) ])
+  in
+  let b = Builder.create () in
+  Builder.label b "next_op";
+  Builder.load b Reg.r4 Reg.r1 0;
+  Builder.addi b Reg.r1 Reg.r1 8;
+  Builder.mov b Reg.r5 (Instr.Reg Reg.r3);
+  Builder.label b "walk";
+  if manual then begin
+    Builder.prefetch b Reg.r5 0;
+    Builder.yield b Instr.Primary
+  end;
+  Builder.load b Reg.r6 Reg.r5 0;
+  Builder.branch b Instr.Eq Reg.r6 (Instr.Reg Reg.r4) "found";
+  Builder.branch b Instr.Lt Reg.r4 (Instr.Reg Reg.r6) "go_left";
+  Builder.load b Reg.r5 Reg.r5 16;
+  Builder.jump b "chk";
+  Builder.label b "go_left";
+  Builder.load b Reg.r5 Reg.r5 8;
+  Builder.label b "chk";
+  Builder.branch b Instr.Ne Reg.r5 (Instr.Imm 0) "walk";
+  (* Lookups use existing keys, so a null child is unreachable; fall
+     through to completion to stay total anyway. *)
+  Builder.label b "found";
+  Builder.load b Reg.r8 Reg.r5 24;
+  Builder.binop b Instr.Add Reg.r15 Reg.r15 (Instr.Reg Reg.r8);
+  Builder.opmark b;
+  Builder.binop b Instr.Sub Reg.r2 Reg.r2 (Instr.Imm 1);
+  Builder.branch b Instr.Gt Reg.r2 (Instr.Imm 0) "next_op";
+  Builder.halt b;
+  {
+    Workload.name = (if manual then "btree/manual" else "btree");
+    program = Builder.assemble b;
+    image;
+    lanes = lane_inits;
+    ops_per_lane = ops;
+    reset = Workload.no_reset;
+  }

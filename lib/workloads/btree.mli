@@ -1,0 +1,17 @@
+(** Binary-search-tree lookups — the pointer-based index structure of
+    the CoroBase evaluation. Nodes are one cache line each (key, left,
+    right, value); keys are inserted in random order so expected depth
+    is O(log n) with every level a likely miss.
+
+    Registers: r1 = key cursor, r2 = remaining ops, r3 = root,
+    r15 = accumulator. *)
+
+val make :
+  ?image:Stallhide_mem.Address_space.t ->
+  ?manual:bool ->
+  ?lanes:int ->
+  ?keys:int ->
+  ?ops:int ->
+  seed:int ->
+  unit ->
+  Workload.t

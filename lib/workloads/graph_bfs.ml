@@ -1,0 +1,106 @@
+open Stallhide_isa
+open Stallhide_mem
+
+let make ?image ?(manual = false) ?(lanes = 4) ?(vertices = 4096) ?(degree = 4) ~seed () =
+  if lanes <= 0 || vertices <= 1 || degree < 1 then invalid_arg "Graph_bfs.make: bad parameters";
+  let st = Random.State.make [| seed; 0x85ebca6b |] in
+  let n = vertices in
+  let edges_count = n * degree in
+  let graph_bytes = ((n + 1) * 8) + (edges_count * 8) in
+  let lane_bytes = 2 * n * 8 in
+  (* visited + queue *)
+  let bytes = graph_bytes + (lanes * lane_bytes) + (8 * Gen_util.line) in
+  let image = match image with Some im -> im | None -> Address_space.create ~bytes in
+  let (_ : int) = Address_space.alloc image ~bytes:Gen_util.line in
+  (* CSR: a ring edge guarantees reachability; the rest are random. *)
+  let adj = Array.init n (fun v -> ((v + 1) mod n) :: List.init (degree - 1) (fun _ -> Random.State.int st n)) in
+  let offsets = Address_space.alloc image ~bytes:((n + 1) * 8) in
+  let edges = Address_space.alloc image ~bytes:(edges_count * 8) in
+  let cursor = ref 0 in
+  Array.iteri
+    (fun v targets ->
+      Address_space.store image (offsets + (v * 8)) !cursor;
+      List.iter
+        (fun u ->
+          Address_space.store image (edges + (!cursor * 8)) u;
+          incr cursor)
+        targets)
+    adj;
+  Address_space.store image (offsets + (n * 8)) !cursor;
+  let resets = ref [] in
+  let lane_inits =
+    Array.init lanes (fun _ ->
+        let visited = Address_space.alloc image ~bytes:(n * 8) in
+        let queue = Address_space.alloc image ~bytes:(n * 8) in
+        let init () =
+          for v = 0 to n - 1 do
+            Address_space.store image (visited + (v * 8)) 0;
+            Address_space.store image (queue + (v * 8)) 0
+          done;
+          (* source vertex 0 pre-visited and enqueued *)
+          Address_space.store image (visited + 0) 1;
+          Address_space.store image (queue + 0) 0
+        in
+        init ();
+        resets := init :: !resets;
+        [
+          (Reg.r1, 0);  (* head *)
+          (Reg.r2, 1);  (* tail *)
+          (Reg.r3, queue);
+          (Reg.r4, offsets);
+          (Reg.r5, edges);
+          (Reg.r6, visited);
+        ])
+  in
+  let b = Builder.create () in
+  Builder.label b "bfs_loop";
+  Builder.branch b Instr.Ge Reg.r1 (Instr.Reg Reg.r2) "done";
+  (* pop v = queue[head++] *)
+  Builder.binop b Instr.Shl Reg.r7 Reg.r1 (Instr.Imm 3);
+  Builder.binop b Instr.Add Reg.r7 Reg.r7 (Instr.Reg Reg.r3);
+  Builder.load b Reg.r8 Reg.r7 0;
+  Builder.addi b Reg.r1 Reg.r1 1;
+  (* edge range [r10, r11) from the offsets array *)
+  Builder.binop b Instr.Shl Reg.r9 Reg.r8 (Instr.Imm 3);
+  Builder.binop b Instr.Add Reg.r9 Reg.r9 (Instr.Reg Reg.r4);
+  Builder.load b Reg.r10 Reg.r9 0;
+  Builder.load b Reg.r11 Reg.r9 8;
+  Builder.label b "edge_loop";
+  Builder.branch b Instr.Ge Reg.r10 (Instr.Reg Reg.r11) "vertex_done";
+  Builder.binop b Instr.Shl Reg.r7 Reg.r10 (Instr.Imm 3);
+  Builder.binop b Instr.Add Reg.r7 Reg.r7 (Instr.Reg Reg.r5);
+  Builder.load b Reg.r12 Reg.r7 0;
+  (* u = edges[i] *)
+  Builder.addi b Reg.r10 Reg.r10 1;
+  (* visited test: the random-access miss site *)
+  Builder.binop b Instr.Shl Reg.r7 Reg.r12 (Instr.Imm 3);
+  Builder.binop b Instr.Add Reg.r7 Reg.r7 (Instr.Reg Reg.r6);
+  if manual then begin
+    Builder.prefetch b Reg.r7 0;
+    Builder.yield b Instr.Primary
+  end;
+  Builder.load b Reg.r13 Reg.r7 0;
+  Builder.branch b Instr.Ne Reg.r13 (Instr.Imm 0) "edge_loop";
+  Builder.movi b Reg.r13 1;
+  Builder.store b Reg.r7 0 Reg.r13;
+  (* push u = queue[tail++] *)
+  Builder.binop b Instr.Shl Reg.r7 Reg.r2 (Instr.Imm 3);
+  Builder.binop b Instr.Add Reg.r7 Reg.r7 (Instr.Reg Reg.r3);
+  Builder.store b Reg.r7 0 Reg.r12;
+  Builder.addi b Reg.r2 Reg.r2 1;
+  Builder.jump b "edge_loop";
+  Builder.label b "vertex_done";
+  Builder.opmark b;
+  Builder.binop b Instr.Add Reg.r15 Reg.r15 (Instr.Imm 1);
+  Builder.jump b "bfs_loop";
+  Builder.label b "done";
+  Builder.halt b;
+  let resets = !resets in
+  {
+    Workload.name = (if manual then "graph-bfs/manual" else "graph-bfs");
+    program = Builder.assemble b;
+    image;
+    lanes = lane_inits;
+    ops_per_lane = n;
+    reset = (fun () -> List.iter (fun f -> f ()) resets);
+  }

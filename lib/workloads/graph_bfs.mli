@@ -1,0 +1,25 @@
+(** Breadth-first search over a CSR graph — the graph-analytics kernel
+    whose visited-flag loads are data-dependent random misses (the
+    Spark/data-analytics motivation of the paper's intro).
+
+    The graph (offsets + edges, a ring plus random extra edges so every
+    vertex is reachable) is shared read-only across lanes; each lane
+    owns its visited array and work queue, which the program *mutates*
+    with stores — the workload's [reset] rewinds them.
+
+    One operation = one settled vertex, so a full traversal performs
+    [vertices] operations per lane.
+
+    Registers: r1 = queue head index, r2 = queue tail index,
+    r3 = queue base, r4 = offsets base, r5 = edges base,
+    r6 = visited base, r15 = settled count. *)
+
+val make :
+  ?image:Stallhide_mem.Address_space.t ->
+  ?manual:bool ->
+  ?lanes:int ->
+  ?vertices:int ->
+  ?degree:int ->
+  seed:int ->
+  unit ->
+  Workload.t

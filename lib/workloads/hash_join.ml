@@ -1,0 +1,60 @@
+open Stallhide_isa
+open Stallhide_mem
+
+let batch = 4
+
+let make ?image ?(manual = false) ?(lanes = 8) ?(build_rows = 8192) ?(ops = 1000) ~seed () =
+  if lanes <= 0 || build_rows <= 1 || ops <= 0 then invalid_arg "Hash_join.make: bad parameters";
+  let st = Random.State.make [| seed; 0x165667b1 |] in
+  let probe_words = ops * batch in
+  let probe_lines = (probe_words + 7) / 8 in
+  let bytes =
+    (build_rows * Gen_util.line) + (lanes * probe_lines * Gen_util.line) + (4 * Gen_util.line)
+  in
+  let image = match image with Some im -> im | None -> Address_space.create ~bytes in
+  let (_ : int) = Address_space.alloc image ~bytes:Gen_util.line in
+  let table = Address_space.alloc image ~bytes:(build_rows * Gen_util.line) in
+  (* Build side: row i holds its payload at word 0. *)
+  for i = 0 to build_rows - 1 do
+    Address_space.store image (table + (i * Gen_util.line)) ((i * 13) + 1)
+  done;
+  let lane_inits =
+    Array.init lanes (fun _ ->
+        let base = Address_space.alloc image ~bytes:(probe_lines * Gen_util.line) in
+        for i = 0 to probe_words - 1 do
+          Address_space.store image (base + (i * 8)) (Random.State.int st build_rows)
+        done;
+        [ (Reg.r1, base); (Reg.r2, ops); (Reg.r3, table) ])
+  in
+  let b = Builder.create () in
+  let regs = [ Reg.r4; Reg.r5; Reg.r6; Reg.r7 ] in
+  Builder.label b "op";
+  List.iteri (fun i r -> Builder.load b r Reg.r1 (i * 8)) regs;
+  Builder.addi b Reg.r1 Reg.r1 (batch * 8);
+  List.iter
+    (fun r ->
+      Builder.binop b Instr.Shl r r (Instr.Imm 6);
+      Builder.binop b Instr.Add r r (Instr.Reg Reg.r3))
+    regs;
+  if manual then begin
+    (* Expert-coalesced: prefetch the whole batch, yield once. *)
+    List.iter (fun r -> Builder.prefetch b r 0) regs;
+    Builder.yield b Instr.Primary
+  end;
+  List.iter
+    (fun r ->
+      Builder.load b Reg.r8 r 0;
+      Builder.binop b Instr.Add Reg.r15 Reg.r15 (Instr.Reg Reg.r8))
+    regs;
+  Builder.opmark b;
+  Builder.binop b Instr.Sub Reg.r2 Reg.r2 (Instr.Imm 1);
+  Builder.branch b Instr.Gt Reg.r2 (Instr.Imm 0) "op";
+  Builder.halt b;
+  {
+    Workload.name = (if manual then "hash-join/manual" else "hash-join");
+    program = Builder.assemble b;
+    image;
+    lanes = lane_inits;
+    ops_per_lane = ops;
+    reset = Workload.no_reset;
+  }

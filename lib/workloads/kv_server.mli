@@ -1,0 +1,14 @@
+(** Latency-sensitive KV GET server: a hash-probe lane with per-request
+    service compute, used as the high-priority *primary* coroutine in
+    the asymmetric-concurrency experiments (§3.3). *)
+
+val make :
+  ?image:Stallhide_mem.Address_space.t ->
+  ?manual:bool ->
+  ?lanes:int ->
+  ?table_slots:int ->
+  ?requests:int ->
+  ?service_compute:int ->
+  seed:int ->
+  unit ->
+  Workload.t

@@ -1,0 +1,46 @@
+open Stallhide_isa
+open Stallhide_mem
+
+let make ?image ?(manual = false) ?(lanes = 8) ?(ops = 500) ?(overlap = 30) ?(code_bloat = 0)
+    ~seed () =
+  if lanes <= 0 || ops <= 0 || overlap < 0 then invalid_arg "Offload.make: bad parameters";
+  let st = Random.State.make [| seed; 0x94d049bb |] in
+  let words = ops in
+  let bytes = (lanes * ((words * 8) + Gen_util.line)) + (4 * Gen_util.line) in
+  let image = match image with Some im -> im | None -> Address_space.create ~bytes in
+  let (_ : int) = Address_space.alloc image ~bytes:Gen_util.line in
+  let lane_inits =
+    Array.init lanes (fun _ ->
+        let base = Address_space.alloc image ~bytes:(words * 8) in
+        for i = 0 to words - 1 do
+          Address_space.store image (base + (i * 8)) (1 + Random.State.int st 1000000)
+        done;
+        [ (Reg.r1, base); (Reg.r2, ops) ])
+  in
+  let b = Builder.create () in
+  Builder.label b "op";
+  Builder.load b Reg.r4 Reg.r1 0;
+  Builder.ins b (Instr.Accel_issue (Reg.r1, 0));
+  Builder.addi b Reg.r1 Reg.r1 8;
+  Builder.binop b Instr.Add Reg.r14 Reg.r14 (Instr.Reg Reg.r4);
+  (* independent post-processing overlaps part of the accelerator latency *)
+  Gen_util.emit_compute b Reg.r13 overlap;
+  (* unrolled filler models a large code footprint (front-end pressure) *)
+  for _ = 1 to code_bloat do
+    Builder.addi b Reg.r13 Reg.r13 1
+  done;
+  if manual then Builder.yield b Instr.Primary;
+  Builder.ins b (Instr.Accel_wait Reg.r5);
+  Builder.binop b Instr.Add Reg.r15 Reg.r15 (Instr.Reg Reg.r5);
+  Builder.opmark b;
+  Builder.binop b Instr.Sub Reg.r2 Reg.r2 (Instr.Imm 1);
+  Builder.branch b Instr.Gt Reg.r2 (Instr.Imm 0) "op";
+  Builder.halt b;
+  {
+    Workload.name = (if manual then "offload/manual" else "offload");
+    program = Builder.assemble b;
+    image;
+    lanes = lane_inits;
+    ops_per_lane = ops;
+    reset = Workload.no_reset;
+  }

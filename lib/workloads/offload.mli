@@ -1,0 +1,27 @@
+(** Onboard-accelerator offload — the paper's second event class
+    ("operations with onboard accelerators", §1).
+
+    Each operation streams an input word, issues an asynchronous
+    accelerator operation on it, does [overlap] cycles of independent
+    post-processing, then waits for the result. Uninstrumented code
+    stalls for [accel_latency − overlap] cycles at every wait; the
+    pipeline hides the wait with a plain yield (the operation is
+    already in flight, so no prefetch is involved).
+
+    Registers: r1 = input cursor, r2 = remaining ops, r14 = raw input
+    checksum, r15 = result checksum (host oracle:
+    [sum of Engine.accel_transform input_i]). *)
+
+val make :
+  ?image:Stallhide_mem.Address_space.t ->
+  ?manual:bool ->
+  ?lanes:int ->
+  ?ops:int ->
+  ?overlap:int ->
+  ?code_bloat:int ->
+  seed:int ->
+  unit ->
+  Workload.t
+(** [code_bloat] appends that many unrolled one-cycle instructions per
+    operation — cheap cycles but a large code footprint, for front-end
+    (icache) pressure experiments. *)

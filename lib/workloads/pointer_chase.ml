@@ -1,0 +1,43 @@
+open Stallhide_isa
+open Stallhide_mem
+
+let make ?image ?(manual = false) ?(lanes = 8) ?(nodes_per_lane = 4096) ?(hops = 2000) ?(compute = 0)
+    ~seed () =
+  if lanes <= 0 || nodes_per_lane <= 1 || hops <= 0 then
+    invalid_arg "Pointer_chase.make: bad parameters";
+  let st = Random.State.make [| seed; 0x9e3779b9 |] in
+  let bytes = (lanes * nodes_per_lane * Gen_util.line) + (2 * Gen_util.line) in
+  let image = match image with Some im -> im | None -> Address_space.create ~bytes in
+  (* Guard allocation so that no node lives at address 0. *)
+  let (_ : int) = Address_space.alloc image ~bytes:Gen_util.line in
+  let lane_inits =
+    Array.init lanes (fun _ ->
+        let base = Address_space.alloc image ~bytes:(nodes_per_lane * Gen_util.line) in
+        let addr i = base + (i * Gen_util.line) in
+        let perm = Gen_util.permutation st nodes_per_lane in
+        for i = 0 to nodes_per_lane - 1 do
+          let next = perm.((i + 1) mod nodes_per_lane) in
+          Address_space.store image (addr perm.(i)) (addr next)
+        done;
+        [ (Reg.r1, addr perm.(0)); (Reg.r2, hops) ])
+  in
+  let b = Builder.create () in
+  Builder.label b "loop";
+  if manual then begin
+    Builder.prefetch b Reg.r1 0;
+    Builder.yield b Instr.Primary
+  end;
+  Builder.load b Reg.r1 Reg.r1 0;
+  Gen_util.emit_compute b Reg.r3 compute;
+  Builder.opmark b;
+  Builder.binop b Instr.Sub Reg.r2 Reg.r2 (Instr.Imm 1);
+  Builder.branch b Instr.Gt Reg.r2 (Instr.Imm 0) "loop";
+  Builder.halt b;
+  {
+    Workload.name = (if manual then "pointer-chase/manual" else "pointer-chase");
+    program = Builder.assemble b;
+    image;
+    lanes = lane_inits;
+    ops_per_lane = hops;
+    reset = Workload.no_reset;
+  }

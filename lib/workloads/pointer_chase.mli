@@ -1,0 +1,23 @@
+(** Pointer chasing over a random linked list — the canonical
+    memory-latency-bound kernel (one dependent DRAM miss per hop when
+    the footprint exceeds the LLC).
+
+    Each lane owns a cyclic random permutation of [nodes_per_lane]
+    64-byte nodes (one node per cache line) and performs [hops]
+    dereferences; [compute] independent ALU instructions separate
+    consecutive hops (the Figure-1 knob for work available between
+    events).
+
+    Registers: r1 = current pointer, r2 = remaining hops,
+    r3 = accumulator. *)
+
+val make :
+  ?image:Stallhide_mem.Address_space.t ->
+  ?manual:bool ->
+  ?lanes:int ->
+  ?nodes_per_lane:int ->
+  ?hops:int ->
+  ?compute:int ->
+  seed:int ->
+  unit ->
+  Workload.t

@@ -1,0 +1,357 @@
+open Stallhide
+open Stallhide_isa
+open Stallhide_mem
+open Stallhide_binopt
+open Stallhide_workloads
+
+let chase ?manual ?(lanes = 8) ?(hops = 400) ?compute ?image () =
+  Pointer_chase.make ?image ?manual ?compute ~lanes ~nodes_per_lane:2048 ~hops ~seed:42 ()
+
+(* --- Pipeline: profiling --- *)
+
+let test_profile_finds_miss_site () =
+  let w = chase () in
+  let p = Pipeline.profile w in
+  Alcotest.(check bool) "samples collected" true (p.Pipeline.samples > 100);
+  let est = Gain_cost.of_profile p.Pipeline.profile in
+  let sites = Gain_cost.select Gain_cost.Cost_benefit Gain_cost.default_machine est w.Workload.program in
+  Alcotest.(check (list int)) "exactly the chase load" [ 0 ] sites
+
+let test_oracle_matches_profile () =
+  let w = chase () in
+  let oracle = Pipeline.oracle_sites w in
+  let p = Pipeline.profile w in
+  let est = Gain_cost.of_profile p.Pipeline.profile in
+  let sampled =
+    Gain_cost.select (Gain_cost.Threshold 0.5) Gain_cost.default_machine est w.Workload.program
+  in
+  Alcotest.(check (list int)) "profile recovers oracle sites" oracle sampled
+
+let test_resident_loop_left_alone () =
+  (* Cost-benefit must decline to instrument loads that always hit:
+     every lane spins over one L1-resident line. *)
+  let prog =
+    Asm.parse
+      {|
+loop:
+  load r3, [r1]
+  add r4, r4, r3
+  sub r2, r2, 1
+  br gt r2, 0, loop
+  halt
+|}
+  in
+  let image = Address_space.create ~bytes:4096 in
+  let base = Address_space.alloc image ~bytes:64 in
+  let w =
+    {
+      Workload.name = "resident-loop";
+      program = prog;
+      image;
+      lanes = Array.make 4 [ (Reg.r1, base); (Reg.r2, 2000) ];
+      ops_per_lane = 0;
+      reset = Workload.no_reset;
+    }
+  in
+  let p = Pipeline.profile w in
+  let _, inst = Pipeline.instrument p w in
+  Alcotest.(check (list int)) "no sites selected" [] inst.Pipeline.primary.Primary_pass.selected;
+  (* whereas a streaming scan's line-boundary load is worth it *)
+  let scan = Array_scan.make ~lanes:16 ~block_words:64 ~ops:150 ~seed:4 () in
+  let sp = Pipeline.profile scan in
+  let _, sinst = Pipeline.instrument sp scan in
+  Alcotest.(check bool) "streaming scan instrumented" true
+    (sinst.Pipeline.primary.Primary_pass.selected <> [])
+
+(* --- Pipeline: instrumentation --- *)
+
+let test_instrument_artifacts () =
+  let w = chase () in
+  let p = Pipeline.profile w in
+  let w', inst = Pipeline.instrument ~scavenger_interval:200 p w in
+  Alcotest.(check bool) "yields present" true (Program.yield_count w'.Workload.program > 0);
+  Alcotest.(check bool) "program grew" true
+    (Program.length w'.Workload.program > Program.length w.Workload.program);
+  Alcotest.(check int) "map covers program" (Program.length w'.Workload.program)
+    (Array.length inst.Pipeline.orig_of_new);
+  Array.iter
+    (fun o -> Alcotest.(check bool) "map in range" true (o >= 0 && o < Program.length w.Workload.program))
+    inst.Pipeline.orig_of_new;
+  match inst.Pipeline.scavenger with
+  | Some _ -> ()
+  | None -> Alcotest.fail "scavenger report missing"
+
+let test_instrument_without_scavenger () =
+  let w = chase () in
+  let p = Pipeline.profile w in
+  let _, inst = Pipeline.instrument p w in
+  Alcotest.(check bool) "no scavenger phase" true (inst.Pipeline.scavenger = None)
+
+(* --- Baselines / end-to-end claims --- *)
+
+let test_pgo_beats_none () =
+  let none = Baselines.run_sequential (chase ()) in
+  let pgo, _ = Baselines.run_pgo (chase ()) in
+  Alcotest.(check bool)
+    (Printf.sprintf "pgo %.1f vs none %.1f" pgo.Metrics.throughput none.Metrics.throughput)
+    true
+    (pgo.Metrics.throughput > 3.0 *. none.Metrics.throughput);
+  Alcotest.(check bool) "efficiency way up" true
+    (pgo.Metrics.efficiency > 3.0 *. none.Metrics.efficiency)
+
+let test_pgo_competitive_with_manual () =
+  let manual = Baselines.run_round_robin (chase ~manual:true ()) in
+  let pgo, _ = Baselines.run_pgo (chase ()) in
+  let ratio = pgo.Metrics.throughput /. manual.Metrics.throughput in
+  Alcotest.(check bool) (Printf.sprintf "ratio %.2f" ratio) true (ratio > 0.8)
+
+let test_smt_limited () =
+  let smt2 = Baselines.run_smt (chase ~lanes:2 ()) in
+  let pgo, _ = Baselines.run_pgo (chase ~lanes:32 ~hops:100 ()) in
+  Alcotest.(check bool) "smt-2 below pgo-32" true
+    (smt2.Metrics.efficiency < pgo.Metrics.efficiency)
+
+let test_ooo_hides_short_events_only () =
+  (* With DRAM latency shrunk into the OoO window, OoO recovers all of
+     it; at real DRAM latency it recovers only the window. *)
+  let short_cfg = Memconfig.with_dram_latency Memconfig.default 40 in
+  let opts = { Baselines.default_opts with Baselines.mem_cfg = short_cfg } in
+  let ooo_short = Baselines.run_ooo ~opts ~window:48 (chase ~lanes:1 ()) in
+  Alcotest.(check bool) "short events fully hidden" true (ooo_short.Metrics.stall = 0);
+  let ooo_long = Baselines.run_ooo ~window:48 (chase ~lanes:1 ()) in
+  Alcotest.(check bool) "long events not hidden" true (ooo_long.Metrics.stall > 0)
+
+let test_dual_latency_vs_symmetric () =
+  (* §3.3: dual-mode keeps primary latency below symmetric round-robin
+     at comparable efficiency. *)
+  let im = Address_space.create ~bytes:(1 lsl 24) in
+  let kv = Kv_server.make ~image:im ~requests:500 ~seed:1 () in
+  let sc = chase ~image:im ~lanes:8 ~hops:800 ~compute:300 () in
+  let kvp = Pipeline.profile kv in
+  let kv', _ = Pipeline.instrument ~scavenger_interval:150 kvp kv in
+  let scp = Pipeline.profile sc in
+  let sc', _ = Pipeline.instrument ~scavenger_interval:150 scp sc in
+  let dual = Baselines.run_dual ~primary:kv' ~scavengers:sc' () in
+  (* symmetric: same lanes, all primary-mode in one RR batch *)
+  let im2 = Address_space.create ~bytes:(1 lsl 24) in
+  let kv2 = Kv_server.make ~image:im2 ~requests:500 ~seed:1 () in
+  let sc2 = chase ~image:im2 ~lanes:8 ~hops:800 ~compute:300 () in
+  let kv2p = Pipeline.profile kv2 in
+  let kv2', _ = Pipeline.instrument ~scavenger_interval:150 kv2p kv2 in
+  let sc2p = Pipeline.profile sc2 in
+  let sc2', _ = Pipeline.instrument ~scavenger_interval:150 sc2p sc2 in
+  (* run the mixed batch symmetric by merging contexts *)
+  let counters = Stallhide_pmu.Counters.create () in
+  let recorder = Stallhide_runtime.Latency.recorder () in
+  let engine =
+    {
+      Stallhide_cpu.Engine.default_config with
+      Stallhide_cpu.Engine.hooks =
+        Stallhide_cpu.Events.compose
+          [ Stallhide_pmu.Counters.hooks counters; Stallhide_runtime.Latency.hooks recorder ];
+    }
+  in
+  let kv_ctx = Workload.context kv2' ~lane:0 ~id:0 ~mode:Stallhide_cpu.Context.Primary in
+  let sc_ctxs =
+    Array.init 8 (fun l -> Workload.context sc2' ~lane:l ~id:(l + 1) ~mode:Stallhide_cpu.Context.Primary)
+  in
+  let (_ : Stallhide_runtime.Scheduler.result) =
+    Stallhide_runtime.Scheduler.run_round_robin ~engine
+      ~switch:Stallhide_runtime.Switch_cost.coroutine (Hierarchy.create Memconfig.default) im2
+      (Array.append [| kv_ctx |] sc_ctxs)
+  in
+  let sym_lat = Stallhide_runtime.Latency.summarize (Stallhide_runtime.Latency.of_ctx recorder 0) in
+  match (dual.Baselines.primary_latency, sym_lat) with
+  | Some d, Some s ->
+      Alcotest.(check bool)
+        (Printf.sprintf "dual p99 %d < symmetric p99 %d" d.Stallhide_runtime.Latency.p99
+           s.Stallhide_runtime.Latency.p99)
+        true
+        (d.Stallhide_runtime.Latency.p99 < s.Stallhide_runtime.Latency.p99)
+  | _ -> Alcotest.fail "missing latency summaries"
+
+let test_conditional_oracle_beats_static_on_mixed () =
+  (* On a workload whose loads mostly hit, static always-yield pays
+     overhead; conditional yields skip resident lines (§4.1). *)
+  let mk () = Array_scan.make ~lanes:8 ~block_words:64 ~ops:100 ~seed:3 () in
+  let est =
+    {
+      Gain_cost.miss_probability = (fun _ -> Some 1.0);
+      Gain_cost.stall_per_miss = (fun _ -> Some 196.0);
+    }
+  in
+  let static_opts = { Primary_pass.default_opts with Primary_pass.policy = Gain_cost.Always } in
+  let run_with opts =
+    let w = mk () in
+    let inst = Pipeline.instrument_with ~estimates:est ~primary:opts w.Workload.program in
+    Baselines.run_round_robin (Workload.with_program w inst.Pipeline.program)
+  in
+  let static = run_with static_opts in
+  let cond = run_with { static_opts with Primary_pass.conditional = true } in
+  Alcotest.(check bool)
+    (Printf.sprintf "cond %.2f > static %.2f" cond.Metrics.throughput static.Metrics.throughput)
+    true
+    (cond.Metrics.throughput > static.Metrics.throughput)
+
+(* --- full-pipeline semantics preservation (property) --- *)
+
+(* Random straight-line programs put through SFI + primary(Always) +
+   scavenger instrumentation must compute exactly the same registers
+   and memory as the original. *)
+let gen_straightline =
+  let open QCheck.Gen in
+  let reg = int_range 2 (Stallhide_isa.Reg.count - 1) in
+  let word = int_bound 63 in
+  let instr =
+    frequency
+      [
+        ( 3,
+          map3
+            (fun op rd (rs, v) -> Instr.Binop (op, rd, rs, Instr.Imm v))
+            (oneofl [ Instr.Add; Instr.Sub; Instr.Mul; Instr.Xor ])
+            reg
+            (pair reg (int_range (-50) 50)) );
+        (2, map2 (fun rd v -> Instr.Mov (rd, Instr.Imm v)) reg (int_range (-500) 500));
+        (3, map2 (fun rd w -> Instr.Load (rd, Stallhide_isa.Reg.r1, w * 8)) reg word);
+        (2, map2 (fun w rv -> Instr.Store (Stallhide_isa.Reg.r1, w * 8, rv)) word reg);
+      ]
+  in
+  list_size (int_range 1 30) instr
+
+let run_to_halt prog mem regs_init =
+  let ctx = Stallhide_cpu.Context.create ~id:0 ~mode:Stallhide_cpu.Context.Primary prog in
+  Stallhide_cpu.Context.set_regs ctx regs_init;
+  ctx.Stallhide_cpu.Context.domain <- Some (0, Address_space.capacity_bytes mem);
+  let clock = ref 0 in
+  let hier = Hierarchy.create Memconfig.default in
+  let rec go n =
+    if n > 10000 then failwith "divergence"
+    else
+      match Stallhide_cpu.Engine.run Stallhide_cpu.Engine.default_config hier mem ~clock ctx with
+      | Stallhide_cpu.Engine.Halted -> ctx
+      | Stallhide_cpu.Engine.Yielded _ -> go (n + 1)
+      | s -> failwith (Format.asprintf "stop: %a" Stallhide_cpu.Engine.pp_stop s)
+  in
+  go 0
+
+let qcheck_instrumentation_preserves_semantics =
+  QCheck.Test.make ~name:"sfi+primary+scavenger preserve semantics" ~count:150
+    (QCheck.make
+       ~print:(fun is -> String.concat "; " (List.map Instr.to_string is))
+       gen_straightline)
+    (fun instrs ->
+      let items = List.map (fun i -> Stallhide_isa.Program.Ins i) instrs in
+      let prog = Stallhide_isa.Program.assemble (items @ [ Stallhide_isa.Program.Ins Instr.Halt ]) in
+      let build_mem () =
+        let mem = Address_space.create ~bytes:2048 in
+        let base = Address_space.alloc mem ~bytes:512 in
+        List.iteri (fun k v -> Address_space.store mem (base + (k * 8)) v)
+          (List.init 64 (fun k -> (k * 29) + 3));
+        (mem, base)
+      in
+      let mem1, base1 = build_mem () in
+      let plain = run_to_halt prog mem1 [ (Stallhide_isa.Reg.r1, base1) ] in
+      (* SFI, then the full yield pipeline with Always policy *)
+      let sfi_prog, _, _ = Sfi_pass.run Sfi_pass.default_opts prog in
+      let est =
+        {
+          Gain_cost.miss_probability = (fun _ -> Some 1.0);
+          Gain_cost.stall_per_miss = (fun _ -> Some 196.0);
+        }
+      in
+      let inst =
+        Pipeline.instrument_with ~estimates:est
+          ~primary:{ Primary_pass.default_opts with Primary_pass.policy = Gain_cost.Always }
+          ~scavenger_interval:50 sfi_prog
+      in
+      let mem2, base2 = build_mem () in
+      let instrumented = run_to_halt inst.Pipeline.program mem2 [ (Stallhide_isa.Reg.r1, base2) ] in
+      let regs_ok =
+        Array.for_all2 ( = ) plain.Stallhide_cpu.Context.regs
+          instrumented.Stallhide_cpu.Context.regs
+      in
+      let mem_ok =
+        List.for_all
+          (fun k ->
+            Address_space.load mem1 (base1 + (k * 8)) = Address_space.load mem2 (base2 + (k * 8)))
+          (List.init 64 Fun.id)
+      in
+      regs_ok && mem_ok)
+
+(* --- Metrics / Experiment --- *)
+
+let test_metrics_math () =
+  let r =
+    {
+      Stallhide_runtime.Scheduler.cycles = 1000;
+      stall = 300;
+      switch_cycles = 200;
+      switches = 10;
+      instructions = 400;
+      completed = 2;
+      faults = [];
+    }
+  in
+  let m = Metrics.of_sched ~label:"x" ~ops:50 r in
+  Alcotest.(check int) "busy" 500 m.Metrics.busy;
+  Alcotest.(check (float 0.0001)) "efficiency" 0.5 m.Metrics.efficiency;
+  Alcotest.(check (float 0.0001)) "throughput" 50.0 m.Metrics.throughput;
+  let m2 = Metrics.of_sched ~label:"y" ~ops:50 { r with Stallhide_runtime.Scheduler.cycles = 500 } in
+  Alcotest.(check (float 0.0001)) "speedup" 2.0 (Metrics.speedup m2 m)
+
+let test_experiment_formatting () =
+  Alcotest.(check string) "ff" "3.14" (Experiment.ff 3.14159);
+  Alcotest.(check string) "ff decimals" "3.1" (Experiment.ff ~decimals:1 3.14159);
+  Alcotest.(check string) "pct" "12.5%" (Experiment.pct 0.125);
+  Alcotest.(check string) "fi small" "999" (Experiment.fi 999);
+  Alcotest.(check string) "fi thousands" "1,234,567" (Experiment.fi 1234567);
+  Alcotest.(check string) "fi negative" "-1,000" (Experiment.fi (-1000));
+  Alcotest.(check string) "nan" "-" (Experiment.ff Float.nan)
+
+let test_metrics_row_shape () =
+  let m =
+    Metrics.of_sched ~label:"t" ~ops:10
+      {
+        Stallhide_runtime.Scheduler.cycles = 100;
+        stall = 10;
+        switch_cycles = 5;
+        switches = 1;
+        instructions = 50;
+        completed = 1;
+        faults = [];
+      }
+  in
+  Alcotest.(check int) "row arity matches header"
+    (List.length Experiment.metrics_header)
+    (List.length (Experiment.metrics_row m))
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "pipeline",
+        [
+          Alcotest.test_case "profile finds miss site" `Quick test_profile_finds_miss_site;
+          Alcotest.test_case "oracle matches profile" `Quick test_oracle_matches_profile;
+          Alcotest.test_case "resident loop left alone" `Quick test_resident_loop_left_alone;
+          Alcotest.test_case "instrument artifacts" `Quick test_instrument_artifacts;
+          Alcotest.test_case "no scavenger phase" `Quick test_instrument_without_scavenger;
+        ] );
+      ( "claims",
+        [
+          Alcotest.test_case "pgo beats none" `Quick test_pgo_beats_none;
+          Alcotest.test_case "pgo competitive with manual" `Quick test_pgo_competitive_with_manual;
+          Alcotest.test_case "smt limited" `Quick test_smt_limited;
+          Alcotest.test_case "ooo short events only" `Quick test_ooo_hides_short_events_only;
+          Alcotest.test_case "dual latency vs symmetric" `Quick test_dual_latency_vs_symmetric;
+          Alcotest.test_case "conditional beats static on hits" `Quick
+            test_conditional_oracle_beats_static_on_mixed;
+        ] );
+      ( "properties",
+        [ QCheck_alcotest.to_alcotest qcheck_instrumentation_preserves_semantics ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "math" `Quick test_metrics_math;
+          Alcotest.test_case "formatting" `Quick test_experiment_formatting;
+          Alcotest.test_case "row shape" `Quick test_metrics_row_shape;
+        ] );
+    ]

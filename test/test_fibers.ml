@@ -1,0 +1,75 @@
+open Stallhide_fibers
+
+let test_interleaving () =
+  let log = ref [] in
+  let fiber name n () =
+    for i = 1 to n do
+      log := Printf.sprintf "%s%d" name i :: !log;
+      Fiber.yield ()
+    done
+  in
+  Fiber.run [ fiber "a" 3; fiber "b" 3 ];
+  Alcotest.(check (list string))
+    "round robin order"
+    [ "a1"; "b1"; "a2"; "b2"; "a3"; "b3" ]
+    (List.rev !log)
+
+let test_unbalanced () =
+  let log = ref [] in
+  let fiber name n () =
+    for i = 1 to n do
+      log := Printf.sprintf "%s%d" name i :: !log;
+      Fiber.yield ()
+    done
+  in
+  Fiber.run [ fiber "a" 1; fiber "b" 3 ];
+  Alcotest.(check (list string)) "drains after exit" [ "a1"; "b1"; "b2"; "b3" ] (List.rev !log)
+
+let test_no_yield () =
+  let hit = ref 0 in
+  Fiber.run [ (fun () -> incr hit); (fun () -> incr hit) ];
+  Alcotest.(check int) "both ran" 2 !hit
+
+let test_empty () = Fiber.run []
+
+let test_ping_pong_counts () =
+  let before = Fiber.yield_count () in
+  Fiber.ping_pong ~rounds:100;
+  Alcotest.(check int) "2*rounds yields" 200 (Fiber.yield_count () - before)
+
+let test_yield_outside () =
+  match Fiber.yield () with
+  | exception Failure _ -> ()
+  | () -> Alcotest.fail "yield outside run succeeded"
+
+let test_exception_propagates () =
+  match Fiber.run [ (fun () -> failwith "boom") ] with
+  | exception Failure m -> Alcotest.(check string) "message" "boom" m
+  | () -> Alcotest.fail "exception swallowed"
+
+let test_many_fibers () =
+  let n = 1000 in
+  let total = ref 0 in
+  let fiber () =
+    Fiber.yield ();
+    incr total;
+    Fiber.yield ()
+  in
+  Fiber.run (List.init n (fun _ -> fiber));
+  Alcotest.(check int) "all fibers ran" n !total
+
+let () =
+  Alcotest.run "fibers"
+    [
+      ( "fiber",
+        [
+          Alcotest.test_case "interleaving" `Quick test_interleaving;
+          Alcotest.test_case "unbalanced" `Quick test_unbalanced;
+          Alcotest.test_case "no yield" `Quick test_no_yield;
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "ping pong" `Quick test_ping_pong_counts;
+          Alcotest.test_case "yield outside run" `Quick test_yield_outside;
+          Alcotest.test_case "exception propagates" `Quick test_exception_propagates;
+          Alcotest.test_case "many fibers" `Quick test_many_fibers;
+        ] );
+    ]

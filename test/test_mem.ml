@@ -1,0 +1,266 @@
+open Stallhide_mem
+
+let cfg = Memconfig.default
+
+(* --- Address space --- *)
+
+let test_alloc () =
+  let sp = Address_space.create ~bytes:4096 in
+  let a = Address_space.alloc sp ~bytes:100 in
+  let b = Address_space.alloc sp ~bytes:8 in
+  Alcotest.(check int) "first alloc at 0" 0 a;
+  Alcotest.(check int) "line-aligned" 0 (b mod 64);
+  Alcotest.(check bool) "b after a" true (b >= a + 100);
+  Alcotest.(check int) "capacity" 4096 (Address_space.capacity_bytes sp)
+
+let test_load_store () =
+  let sp = Address_space.create ~bytes:1024 in
+  let a = Address_space.alloc sp ~bytes:64 in
+  Address_space.store sp a 42;
+  Address_space.store sp (a + 8) (-7);
+  Alcotest.(check int) "load back" 42 (Address_space.load sp a);
+  Alcotest.(check int) "load back 2" (-7) (Address_space.load sp (a + 8));
+  Alcotest.(check int) "untouched is zero" 0 (Address_space.load sp (a + 16))
+
+let test_addr_errors () =
+  let sp = Address_space.create ~bytes:1024 in
+  (match Address_space.load sp 4 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unaligned load accepted");
+  (match Address_space.load sp 2048 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "out-of-range load accepted");
+  (match Address_space.load sp (-8) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "negative load accepted");
+  Alcotest.(check bool) "valid" true (Address_space.valid_addr sp 8);
+  Alcotest.(check bool) "invalid unaligned" false (Address_space.valid_addr sp 3);
+  match Address_space.alloc sp ~bytes:100000 with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "oversized alloc accepted"
+
+let test_alloc_exhaustion_boundary () =
+  let sp = Address_space.create ~bytes:128 in
+  let (_ : int) = Address_space.alloc sp ~bytes:64 in
+  let (_ : int) = Address_space.alloc sp ~bytes:64 in
+  match Address_space.alloc sp ~bytes:1 with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "alloc beyond capacity accepted"
+
+(* --- Cache --- *)
+
+let mk_cache ?(size = 8 * 64) ?(ways = 2) () =
+  Cache.create ~name:"t" ~line_bytes:64 { Memconfig.size_bytes = size; ways; latency = 4 }
+
+let test_cache_hit_miss () =
+  let c = mk_cache () in
+  Alcotest.(check int) "lines" 8 (Cache.lines c);
+  (match Cache.lookup c ~now:0 0 with
+  | Cache.Miss -> ()
+  | _ -> Alcotest.fail "cold cache hit");
+  Cache.insert c ~now:0 ~ready_at:0 0;
+  (match Cache.lookup c ~now:1 0 with
+  | Cache.Hit -> ()
+  | _ -> Alcotest.fail "inserted line missing");
+  (match Cache.lookup c ~now:1 56 with
+  | Cache.Hit -> ()
+  | _ -> Alcotest.fail "same-line word missed");
+  Alcotest.(check int) "hits" 2 (Cache.hits c);
+  Alcotest.(check int) "misses" 1 (Cache.misses c)
+
+let test_cache_inflight () =
+  let c = mk_cache () in
+  Cache.insert c ~now:0 ~ready_at:100 0;
+  (match Cache.lookup c ~now:50 0 with
+  | Cache.In_flight r -> Alcotest.(check int) "ready time" 100 r
+  | _ -> Alcotest.fail "expected in-flight");
+  (match Cache.lookup c ~now:100 0 with
+  | Cache.Hit -> ()
+  | _ -> Alcotest.fail "expected ready hit");
+  Alcotest.(check bool) "not resident while filling" false (Cache.resident c ~now:50 0);
+  Alcotest.(check bool) "resident after fill" true (Cache.resident c ~now:100 0)
+
+let test_cache_refill_keeps_earlier () =
+  let c = mk_cache () in
+  Cache.insert c ~now:0 ~ready_at:50 0;
+  Cache.insert c ~now:0 ~ready_at:200 0;
+  match Cache.lookup c ~now:10 0 with
+  | Cache.In_flight r -> Alcotest.(check int) "earlier fill wins" 50 r
+  | _ -> Alcotest.fail "expected in-flight"
+
+let test_cache_lru () =
+  (* 2-way, 4 sets: lines 0, 4, 8 map to set 0. *)
+  let c = mk_cache () in
+  let addr line = line * 64 in
+  Cache.insert c ~now:0 ~ready_at:0 (addr 0);
+  Cache.insert c ~now:0 ~ready_at:0 (addr 4);
+  ignore (Cache.lookup c ~now:1 (addr 0));
+  Cache.insert c ~now:2 ~ready_at:2 (addr 8);
+  (match Cache.lookup c ~now:3 (addr 4) with
+  | Cache.Miss -> ()
+  | _ -> Alcotest.fail "LRU line survived");
+  match Cache.lookup c ~now:3 (addr 0) with
+  | Cache.Hit -> ()
+  | _ -> Alcotest.fail "MRU line evicted"
+
+(* --- Hierarchy --- *)
+
+let test_hierarchy_levels () =
+  let h = Hierarchy.create cfg in
+  let r1 = Hierarchy.access h ~now:0 0 in
+  Alcotest.(check string) "cold from DRAM" "DRAM" (Hierarchy.level_name r1.Hierarchy.level);
+  Alcotest.(check int) "dram latency" cfg.Memconfig.dram_latency r1.Hierarchy.latency;
+  Alcotest.(check int) "dram stall"
+    (cfg.Memconfig.dram_latency - cfg.Memconfig.l1.Memconfig.latency)
+    r1.Hierarchy.stall;
+  let r2 = Hierarchy.access h ~now:300 0 in
+  Alcotest.(check string) "now in L1" "L1" (Hierarchy.level_name r2.Hierarchy.level);
+  Alcotest.(check int) "l1 latency" cfg.Memconfig.l1.Memconfig.latency r2.Hierarchy.latency;
+  Alcotest.(check int) "no stall" 0 r2.Hierarchy.stall
+
+let test_hierarchy_l2_hit () =
+  let h = Hierarchy.create cfg in
+  (* Evict line 0 from L1 (4-way sets) by touching 6 more lines of the
+     same L1 set; they all fit in the larger L2. *)
+  let line_bytes = cfg.Memconfig.line_bytes in
+  ignore (Hierarchy.access h ~now:0 0);
+  for i = 1 to 6 do
+    ignore (Hierarchy.access h ~now:(i * 1000) (i * 64 * line_bytes))
+  done;
+  let r = Hierarchy.access h ~now:100000 0 in
+  Alcotest.(check string) "served by L2" "L2" (Hierarchy.level_name r.Hierarchy.level);
+  Alcotest.(check int) "l2 latency" cfg.Memconfig.l2.Memconfig.latency r.Hierarchy.latency
+
+let test_prefetch_hides_latency () =
+  let h = Hierarchy.create cfg in
+  Hierarchy.prefetch h ~now:0 0;
+  let r = Hierarchy.access h ~now:cfg.Memconfig.dram_latency 0 in
+  Alcotest.(check int) "no stall after covered prefetch" 0 r.Hierarchy.stall;
+  Hierarchy.prefetch h ~now:1000 4096;
+  let r2 = Hierarchy.access h ~now:(1000 + 100) 4096 in
+  Alcotest.(check int) "remaining stall"
+    (cfg.Memconfig.dram_latency - 100 - cfg.Memconfig.l1.Memconfig.latency)
+    r2.Hierarchy.stall
+
+let test_prefetch_useless () =
+  let h = Hierarchy.create cfg in
+  ignore (Hierarchy.access h ~now:0 0);
+  Hierarchy.prefetch h ~now:500 0;
+  let s = Hierarchy.stats h in
+  Alcotest.(check int) "useless prefetch counted" 1 s.Mem_stats.useless_prefetches;
+  Alcotest.(check int) "prefetches counted" 1 s.Mem_stats.prefetches
+
+let test_resident_oracle () =
+  let h = Hierarchy.create cfg in
+  Alcotest.(check bool) "cold not resident" true (Hierarchy.resident h ~now:0 0 = None);
+  ignore (Hierarchy.access h ~now:0 0);
+  (match Hierarchy.resident h ~now:10 0 with
+  | Some Hierarchy.L1 -> ()
+  | _ -> Alcotest.fail "expected L1 residency");
+  Hierarchy.prefetch h ~now:100 8192;
+  Alcotest.(check bool) "in-flight not resident" true (Hierarchy.resident h ~now:150 8192 = None);
+  match Hierarchy.resident h ~now:(100 + cfg.Memconfig.dram_latency) 8192 with
+  | Some Hierarchy.L1 -> ()
+  | _ -> Alcotest.fail "expected residency after fill"
+
+let test_stats_reset () =
+  let h = Hierarchy.create cfg in
+  ignore (Hierarchy.access h ~now:0 0);
+  Hierarchy.reset_stats h;
+  let s = Hierarchy.stats h in
+  Alcotest.(check int) "reset demand" 0 s.Mem_stats.demand_accesses;
+  let r = Hierarchy.access h ~now:10 0 in
+  Alcotest.(check string) "still cached" "L1" (Hierarchy.level_name r.Hierarchy.level)
+
+let test_config_validation () =
+  let bad = { cfg with Memconfig.l1 = { cfg.Memconfig.l1 with Memconfig.latency = 300 } } in
+  (match Hierarchy.create bad with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "non-monotone latencies accepted");
+  let bad2 = { cfg with Memconfig.line_bytes = 48 } in
+  (match Memconfig.validate bad2 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "non-pow2 line accepted");
+  (match Memconfig.validate { cfg with Memconfig.accel_latency = 0 } with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero accel latency accepted");
+  let bad_ic =
+    { cfg with Memconfig.icache = Some { Memconfig.size_bytes = 100; ways = 3; latency = 14 } }
+  in
+  match Memconfig.validate bad_ic with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "bad icache geometry accepted"
+
+let qcheck_access_then_hit =
+  QCheck.Test.make ~name:"access then immediate re-access hits L1" ~count:200
+    QCheck.(int_bound 10000)
+    (fun w ->
+      let h = Hierarchy.create cfg in
+      let addr = w * 8 in
+      ignore (Hierarchy.access h ~now:0 addr);
+      let r = Hierarchy.access h ~now:1000 addr in
+      r.Hierarchy.level = Hierarchy.L1 && r.Hierarchy.stall = 0)
+
+let qcheck_prefetch_monotone =
+  QCheck.Test.make ~name:"prefetch never increases stall" ~count:200
+    QCheck.(pair (int_bound 500) (int_bound 300))
+    (fun (w, dt) ->
+      let addr = w * 64 in
+      let h1 = Hierarchy.create cfg in
+      let plain = (Hierarchy.access h1 ~now:dt addr).Hierarchy.stall in
+      let h2 = Hierarchy.create cfg in
+      Hierarchy.prefetch h2 ~now:0 addr;
+      let with_pf = (Hierarchy.access h2 ~now:dt addr).Hierarchy.stall in
+      with_pf <= plain)
+
+(* Property: after an access, the line survives (ways-1) subsequent
+   accesses to distinct lines of the same set. *)
+let qcheck_lru_survival =
+  QCheck.Test.make ~name:"LRU keeps a line for ways-1 conflicting fills" ~count:200
+    QCheck.(pair (int_bound 100) (int_bound 2))
+    (fun (line0, extra) ->
+      let ways = 2 + extra in
+      let sets = 8 in
+      let c =
+        Cache.create ~name:"t" ~line_bytes:64
+          { Memconfig.size_bytes = sets * ways * 64; ways; latency = 4 }
+      in
+      let addr l = l * 64 in
+      Cache.insert c ~now:0 ~ready_at:0 (addr line0);
+      (* ways-1 distinct conflicting lines *)
+      for k = 1 to ways - 1 do
+        Cache.insert c ~now:k ~ready_at:k (addr (line0 + (k * sets)))
+      done;
+      Cache.resident c ~now:1000 (addr line0))
+
+let () =
+  Alcotest.run "mem"
+    [
+      ( "address-space",
+        [
+          Alcotest.test_case "alloc" `Quick test_alloc;
+          Alcotest.test_case "load/store" `Quick test_load_store;
+          Alcotest.test_case "errors" `Quick test_addr_errors;
+          Alcotest.test_case "exhaustion" `Quick test_alloc_exhaustion_boundary;
+        ] );
+      ( "cache",
+        [
+          Alcotest.test_case "hit/miss" `Quick test_cache_hit_miss;
+          Alcotest.test_case "in-flight" `Quick test_cache_inflight;
+          Alcotest.test_case "refill keeps earlier" `Quick test_cache_refill_keeps_earlier;
+          Alcotest.test_case "lru eviction" `Quick test_cache_lru;
+        ] );
+      ( "hierarchy",
+        [
+          Alcotest.test_case "levels" `Quick test_hierarchy_levels;
+          Alcotest.test_case "l2 hit" `Quick test_hierarchy_l2_hit;
+          Alcotest.test_case "prefetch hides latency" `Quick test_prefetch_hides_latency;
+          Alcotest.test_case "useless prefetch" `Quick test_prefetch_useless;
+          Alcotest.test_case "residency oracle" `Quick test_resident_oracle;
+          Alcotest.test_case "stats reset" `Quick test_stats_reset;
+          Alcotest.test_case "config validation" `Quick test_config_validation;
+          QCheck_alcotest.to_alcotest qcheck_access_then_hit;
+          QCheck_alcotest.to_alcotest qcheck_prefetch_monotone;
+          QCheck_alcotest.to_alcotest qcheck_lru_survival;
+        ] );
+    ]

@@ -1,0 +1,309 @@
+open Stallhide_isa
+open Stallhide_mem
+open Stallhide_cpu
+open Stallhide_pmu
+
+let cfg = Memconfig.default
+
+let dram = cfg.Memconfig.dram_latency
+
+let l1 = cfg.Memconfig.l1.Memconfig.latency
+
+(* A lane-0 pointer chase whose every hop is a DRAM/L3 miss plus a warm
+   accumulator load that always hits. *)
+let chase_src =
+  {|
+loop:
+  load r1, [r1]      # miss site (pc 0)
+  load r3, [r4]      # warm site (pc 1)
+  opmark
+  sub r2, r2, 1
+  br gt r2, 0, loop
+  halt
+|}
+
+let build_chase ~hops =
+  let prog = Asm.parse chase_src in
+  let mem = Address_space.create ~bytes:(1 lsl 22) in
+  let (_ : int) = Address_space.alloc mem ~bytes:64 in
+  let nodes = 4096 in
+  let base = Address_space.alloc mem ~bytes:(nodes * 64) in
+  for i = 0 to nodes - 1 do
+    Address_space.store mem (base + (i * 64)) (base + (((i + 1) mod nodes) * 64))
+  done;
+  let warm = Address_space.alloc mem ~bytes:64 in
+  let ctx = Context.create ~id:0 ~mode:Context.Primary prog in
+  Context.set_regs ctx [ (Reg.r1, base); (Reg.r2, hops); (Reg.r4, warm) ];
+  (prog, mem, ctx)
+
+let run_with hooks ~hops =
+  let prog, mem, ctx = build_chase ~hops in
+  let hier = Hierarchy.create cfg in
+  let clock = ref 0 in
+  let engine = { Engine.default_config with Engine.hooks } in
+  (match Engine.run engine hier mem ~clock ctx with
+  | Engine.Halted -> ()
+  | s -> Alcotest.fail (Format.asprintf "unexpected stop %a" Engine.pp_stop s));
+  (prog, !clock)
+
+(* --- Counters --- *)
+
+let test_counters () =
+  let c = Counters.create () in
+  let hops = 500 in
+  let _, _ = run_with (Counters.hooks c) ~hops in
+  Alcotest.(check int) "instructions" ((hops * 5) + 1) c.Counters.instructions;
+  Alcotest.(check int) "loads" (hops * 2) c.Counters.loads;
+  Alcotest.(check int) "ops" hops c.Counters.ops;
+  Alcotest.(check int) "branches" hops c.Counters.branches;
+  Alcotest.(check int) "taken branches" (hops - 1) c.Counters.taken_branches;
+  (* hop loads miss (4096 nodes >> L1+L2), warm load hits after first touch *)
+  Alcotest.(check bool) "mostly dram" true (c.Counters.dram_loads >= hops - 1);
+  Alcotest.(check bool) "warm hits in l1" true (c.Counters.l1_hits >= hops - 1);
+  Alcotest.(check bool) "stall accumulates" true (c.Counters.stall_cycles >= (hops - 1) * (dram - l1));
+  Counters.reset c;
+  Alcotest.(check int) "reset" 0 c.Counters.instructions
+
+(* --- PEBS --- *)
+
+let test_pebs_period () =
+  let p = Pebs.create ~event:Pebs.Loads_all ~period:10 () in
+  let hops = 500 in
+  let _, _ = run_with (Pebs.hooks p) ~hops in
+  Alcotest.(check int) "occurrences = all loads" (hops * 2) (Pebs.occurrences p);
+  Alcotest.(check int) "samples = occurrences/period" (hops * 2 / 10) (Pebs.sample_count p);
+  Alcotest.(check int) "nothing dropped" 0 (Pebs.dropped p)
+
+let test_pebs_miss_event_precision () =
+  let p = Pebs.create ~event:Pebs.L2_miss_loads ~period:7 () in
+  let _, _ = run_with (Pebs.hooks p) ~hops:500 in
+  (* Every miss sample must carry the pc of the missing load (pc 0). *)
+  List.iter
+    (fun (s : Pebs.sample) -> Alcotest.(check int) "precise pc" 0 s.Pebs.pc)
+    (Pebs.samples p);
+  Alcotest.(check bool) "saw misses" true (Pebs.sample_count p > 0)
+
+let test_pebs_stall_event () =
+  let p = Pebs.create ~event:Pebs.Stall_cycles ~period:1000 () in
+  let _, _ = run_with (Pebs.hooks p) ~hops:500 in
+  (* ~500 misses x 196 stall cycles = ~98k occurrences -> ~98 samples *)
+  let n = Pebs.sample_count p in
+  Alcotest.(check bool) "stall samples in range" true (n > 50 && n < 150);
+  List.iter (fun (s : Pebs.sample) -> Alcotest.(check int) "attributed to load" 0 s.Pebs.pc)
+    (Pebs.samples p)
+
+let test_pebs_buffer_overflow () =
+  let p = Pebs.create ~buffer_capacity:10 ~event:Pebs.Loads_all ~period:1 () in
+  let _, _ = run_with (Pebs.hooks p) ~hops:100 in
+  Alcotest.(check int) "buffer capped" 10 (Pebs.sample_count p);
+  Alcotest.(check int) "rest dropped" (200 - 10) (Pebs.dropped p);
+  Pebs.clear p;
+  Alcotest.(check int) "cleared" 0 (Pebs.sample_count p)
+
+let test_pebs_bad_period () =
+  match Pebs.create ~event:Pebs.Loads_all ~period:0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "period 0 accepted"
+
+(* --- LBR --- *)
+
+let test_lbr_ring () =
+  let l = Lbr.create ~depth:4 ~snapshot_period:50 () in
+  let _, _ = run_with (Lbr.hooks l) ~hops:100 in
+  Alcotest.(check bool) "snapshots taken" true (Lbr.snapshot_count l > 0);
+  List.iter
+    (fun snap ->
+      Alcotest.(check bool) "ring bounded" true (Array.length snap <= 4);
+      (* every record is the loop back-edge: from pc 4 to pc 0 *)
+      Array.iter
+        (fun (r : Lbr.record) ->
+          Alcotest.(check int) "from" 4 r.Lbr.from_pc;
+          Alcotest.(check int) "to" 0 r.Lbr.to_pc)
+        snap;
+      (* timestamps ascend *)
+      for i = 0 to Array.length snap - 2 do
+        Alcotest.(check bool) "cycles ascend" true (snap.(i).Lbr.cycle < snap.(i + 1).Lbr.cycle)
+      done)
+    (Lbr.snapshots l)
+
+let test_lbr_depth_bound () =
+  (* a deeper ring keeps more records per snapshot *)
+  let shallow = Lbr.create ~depth:2 ~snapshot_period:97 () in
+  let deep = Lbr.create ~depth:16 ~snapshot_period:97 () in
+  let _, _ = run_with (Events.compose [ Lbr.hooks shallow; Lbr.hooks deep ]) ~hops:200 in
+  let max_len l =
+    List.fold_left (fun m s -> max m (Array.length s)) 0 (Lbr.snapshots l)
+  in
+  Alcotest.(check int) "shallow capped at 2" 2 (max_len shallow);
+  Alcotest.(check bool) "deep keeps more" true (max_len deep > 2);
+  match Lbr.create ~snapshot_period:0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "period 0 accepted"
+
+let test_lbr_clear () =
+  let l = Lbr.create ~snapshot_period:10 () in
+  let _, _ = run_with (Lbr.hooks l) ~hops:50 in
+  Lbr.clear l;
+  Alcotest.(check int) "cleared" 0 (Lbr.snapshot_count l)
+
+(* --- Profile --- *)
+
+let profile_of_chase ~hops =
+  let prog, mem, ctx = build_chase ~hops in
+  let hier = Hierarchy.create cfg in
+  let exec = Pebs.create ~event:Pebs.Loads_all ~period:13 () in
+  let miss = Pebs.create ~event:Pebs.L2_miss_loads ~period:7 () in
+  let stall = Pebs.create ~event:Pebs.Stall_cycles ~period:97 () in
+  let lbr = Lbr.create ~snapshot_period:111 () in
+  let hooks =
+    Events.compose [ Pebs.hooks exec; Pebs.hooks miss; Pebs.hooks stall; Lbr.hooks lbr ]
+  in
+  let clock = ref 0 in
+  let engine = { Engine.default_config with Engine.hooks } in
+  (match Engine.run engine hier mem ~clock ctx with
+  | Engine.Halted -> ()
+  | _ -> Alcotest.fail "profiling run did not halt");
+  Profile.build ~program:prog ~exec ~miss ~stall ~lbr ()
+
+let test_profile_estimates () =
+  let p = profile_of_chase ~hops:2000 in
+  (* pc 0 misses ~always; pc 1 ~never. *)
+  (match Profile.miss_probability p 0 with
+  | Some prob -> Alcotest.(check bool) "miss prob high" true (prob > 0.6)
+  | None -> Alcotest.fail "no estimate for miss site");
+  (match Profile.miss_probability p 1 with
+  | Some prob -> Alcotest.(check bool) "warm prob low" true (prob < 0.1)
+  | None -> () (* acceptable: maybe unsampled *));
+  (match Profile.stall_per_miss p 0 with
+  | Some s -> Alcotest.(check bool) "stall per miss near dram-l1" true (s > 100.0 && s < 300.0)
+  | None -> Alcotest.fail "no stall estimate");
+  Alcotest.(check (list int)) "candidates are the miss site" [ 0 ] (Profile.candidate_loads p);
+  Alcotest.(check bool) "samples collected" true (Profile.total_samples p > 100)
+
+let test_profile_lbr_latency () =
+  let p = profile_of_chase ~hops:2000 in
+  (* The loop body [0..4] costs ~dram + small per iteration; the miss
+     load should absorb most of it under base-cost apportioning. *)
+  match Profile.pc_cycles p 0 with
+  | Some c -> Alcotest.(check bool) "block latency attributed" true (c > 20.0)
+  | None -> Alcotest.fail "no LBR estimate for pc 0"
+
+let test_profile_edge_heat () =
+  let p = profile_of_chase ~hops:2000 in
+  Alcotest.(check bool) "back edge hot" true (Profile.edge_heat p 4 0 > 10)
+
+(* --- persistence --- *)
+
+let test_profile_roundtrip () =
+  let prog, _, _ = build_chase ~hops:10 in
+  let p = profile_of_chase ~hops:2000 in
+  let text = Profile.save p in
+  let p2 = Profile.load ~program:prog text in
+  Alcotest.(check int) "samples" (Profile.total_samples p) (Profile.total_samples p2);
+  for pc = 0 to Program.length prog - 1 do
+    Alcotest.(check (option (float 0.0001)))
+      (Printf.sprintf "miss prob pc %d" pc)
+      (Profile.miss_probability p pc)
+      (Profile.miss_probability p2 pc);
+    Alcotest.(check (option (float 0.0001)))
+      (Printf.sprintf "stall/miss pc %d" pc)
+      (Profile.stall_per_miss p pc)
+      (Profile.stall_per_miss p2 pc);
+    Alcotest.(check int)
+      (Printf.sprintf "stalls at pc %d" pc)
+      (Profile.stalls_at p pc) (Profile.stalls_at p2 pc);
+    Alcotest.(check (option (float 0.0001)))
+      (Printf.sprintf "lbr pc %d" pc)
+      (Profile.pc_cycles p pc) (Profile.pc_cycles p2 pc)
+  done;
+  Alcotest.(check int) "edges" (Profile.edge_heat p 4 0) (Profile.edge_heat p2 4 0)
+
+let test_profile_load_rejects () =
+  let prog, _, _ = build_chase ~hops:10 in
+  (match Profile.load ~program:prog "garbage" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "garbage accepted");
+  (match Profile.load ~program:prog "stallhide-profile v1\nmeta program_length=999 samples=0\n" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "wrong program accepted");
+  match Profile.load ~program:prog "stallhide-profile v1\nwat 1 2 3\n" with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "junk line accepted"
+
+(* --- front-end filtering (§3.2 footnote) --- *)
+
+let test_frontend_filtering () =
+  (* a hot loop bigger than the icache: every stall is front-end *)
+  let icfg =
+    { cfg with Memconfig.icache = Some { Memconfig.size_bytes = 1024; ways = 4; latency = 14 } }
+  in
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "loop:\n";
+  for _ = 1 to 300 do
+    Buffer.add_string b "add r1, r1, 1\n"
+  done;
+  Buffer.add_string b "sub r2, r2, 1\nbr gt r2, 0, loop\nhalt";
+  let prog = Asm.parse (Buffer.contents b) in
+  let mem = Address_space.create ~bytes:1024 in
+  let hier = Hierarchy.create icfg in
+  let stall = Pebs.create ~event:Pebs.Stall_cycles ~period:13 () in
+  let fe = Pebs.create ~event:Pebs.Frontend_stalls ~period:13 () in
+  let hooks = Events.compose [ Pebs.hooks stall; Pebs.hooks fe ] in
+  let ctx = Context.create ~id:0 ~mode:Context.Primary prog in
+  Context.set_regs ctx [ (Reg.r2, 50) ];
+  let clock = ref 0 in
+  (match Engine.run { Engine.default_config with Engine.hooks } hier mem ~clock ctx with
+  | Engine.Halted -> ()
+  | s -> Alcotest.fail (Format.asprintf "stop %a" Engine.pp_stop s));
+  Alcotest.(check bool) "generic event saw the stalls" true (Pebs.sample_count stall > 50);
+  (* without the frontend unit, raw stalls look like memory stalls *)
+  let contaminated = Profile.build ~program:prog ~stall () in
+  let unfiltered_total =
+    List.fold_left ( + ) 0
+      (List.init (Program.length prog) (Profile.stalls_at contaminated))
+  in
+  Alcotest.(check bool) "contaminated profile reports memory stalls" true
+    (unfiltered_total > 1000);
+  (* with it, nearly everything is filtered out *)
+  let filtered = Profile.build ~program:prog ~stall ~frontend:fe () in
+  let filtered_total =
+    List.fold_left ( + ) 0 (List.init (Program.length prog) (Profile.stalls_at filtered))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "filtered %d << contaminated %d" filtered_total unfiltered_total)
+    true
+    (filtered_total * 4 < unfiltered_total);
+  (* raw view unchanged *)
+  let raw_total =
+    List.fold_left ( + ) 0 (List.init (Program.length prog) (Profile.raw_stalls_at filtered))
+  in
+  Alcotest.(check bool) "raw keeps the generic estimate" true (raw_total >= unfiltered_total / 2)
+
+let () =
+  Alcotest.run "pmu"
+    [
+      ("counters", [ Alcotest.test_case "ground truth" `Quick test_counters ]);
+      ( "pebs",
+        [
+          Alcotest.test_case "period" `Quick test_pebs_period;
+          Alcotest.test_case "precise miss pcs" `Quick test_pebs_miss_event_precision;
+          Alcotest.test_case "stall attribution" `Quick test_pebs_stall_event;
+          Alcotest.test_case "buffer overflow" `Quick test_pebs_buffer_overflow;
+          Alcotest.test_case "bad period" `Quick test_pebs_bad_period;
+        ] );
+      ( "lbr",
+        [
+          Alcotest.test_case "ring + snapshots" `Quick test_lbr_ring;
+          Alcotest.test_case "depth bound" `Quick test_lbr_depth_bound;
+          Alcotest.test_case "clear" `Quick test_lbr_clear;
+        ] );
+      ( "profile",
+        [
+          Alcotest.test_case "estimates" `Quick test_profile_estimates;
+          Alcotest.test_case "lbr latency" `Quick test_profile_lbr_latency;
+          Alcotest.test_case "edge heat" `Quick test_profile_edge_heat;
+          Alcotest.test_case "frontend filtering" `Quick test_frontend_filtering;
+          Alcotest.test_case "save/load roundtrip" `Quick test_profile_roundtrip;
+          Alcotest.test_case "load rejects bad input" `Quick test_profile_load_rejects;
+        ] );
+    ]
