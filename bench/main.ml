@@ -882,7 +882,14 @@ let experiments =
   ]
 
 let () =
-  let requested = List.tl (Array.to_list Sys.argv) in
+  let args = List.tl (Array.to_list Sys.argv) in
+  let rec split ids json_out = function
+    | "--json-out" :: path :: rest -> split ids (Some path) rest
+    | a :: rest -> split (a :: ids) json_out rest
+    | [] -> (List.rev ids, json_out)
+  in
+  let requested, json_out = split [] None args in
+  let json_path = match json_out with Some p -> p | None -> "BENCH_results.json" in
   let selected =
     match requested with
     | [] -> experiments
@@ -896,7 +903,12 @@ let () =
   end;
   List.iter
     (fun (id, f) ->
+      Experiment.group id;
       let t0 = Unix.gettimeofday () in
       f ();
-      Printf.printf "   [%s finished in %.1fs]\n%!" id (Unix.gettimeofday () -. t0))
-    selected
+      let dt = Unix.gettimeofday () -. t0 in
+      Experiment.record "wall_seconds" (Stallhide_util.Json.Float dt);
+      Printf.printf "   [%s finished in %.1fs]\n%!" id dt)
+    selected;
+  Experiment.write_json ~path:json_path;
+  Printf.printf "machine-readable results written to %s\n%!" json_path

@@ -41,8 +41,23 @@ let policy_of_string = function
 
 let workload_arg =
   let doc = "Workload: " ^ String.concat " | " workload_names ^ "." in
-  Arg.(value & opt (enum (List.map (fun w -> (w, w)) workload_names)) "pointer-chase"
-       & info [ "w"; "workload" ] ~docv:"NAME" ~doc)
+  (* plain string, checked by hand: an unknown name exits 2 with the
+     list instead of a cmdliner usage error or a raw exception *)
+  Arg.(value & opt string "pointer-chase" & info [ "w"; "workload" ] ~docv:"NAME" ~doc)
+
+let check_workload name =
+  if not (List.mem name workload_names) then begin
+    Printf.eprintf "stallhide: unknown workload %S (available: %s)\n" name
+      (String.concat ", " workload_names);
+    exit 2
+  end
+
+(* Output files are user input too: fail cleanly, not with a backtrace. *)
+let write_file path f =
+  try f path
+  with Sys_error msg ->
+    Printf.eprintf "stallhide: cannot write %s\n" msg;
+    exit 1
 
 let lanes_arg =
   Arg.(value & opt int 16 & info [ "lanes" ] ~docv:"N" ~doc:"Concurrent lanes (coroutines).")
@@ -71,43 +86,120 @@ let mechanism_arg =
        & info [ "m"; "mechanism" ] ~docv:"MECH" ~doc)
 
 let run_cmd =
-  let run workload mechanism lanes ops seed policy interval =
+  let run workload mechanism lanes ops seed policy interval json trace_out attribution =
+    check_workload workload;
+    if attribution && mechanism <> "pgo" then begin
+      Printf.eprintf "stallhide: --attribution needs --mechanism pgo (got %s)\n" mechanism;
+      exit 2
+    end;
+    let module Obs = Stallhide_obs in
+    let stream =
+      if json || trace_out <> None then Some (Obs.Stream.create ()) else None
+    in
+    let opts = { Baselines.default_opts with Baselines.obs = stream } in
     let w manual = make_workload workload ~lanes ~ops ~manual ~seed in
-    let metrics =
+    let primary =
+      { Primary_pass.default_opts with Primary_pass.policy = policy_of_string policy }
+    in
+    let metrics, inst, attr, stream =
       match mechanism with
-      | "none" -> Baselines.run_sequential (w false)
-      | "manual" -> Baselines.run_round_robin ~label:(workload ^ "/manual") (w true)
-      | "smt" -> Baselines.run_smt (w false)
-      | "ooo" -> Baselines.run_ooo ~window:48 (w false)
+      | "none" -> (Baselines.run_sequential ~opts (w false), None, None, stream)
+      | "manual" ->
+          (Baselines.run_round_robin ~label:(workload ^ "/manual") ~opts (w true), None, None, stream)
+      | "smt" -> (Baselines.run_smt ~opts (w false), None, None, stream)
+      | "ooo" -> (Baselines.run_ooo ~opts ~window:48 (w false), None, None, stream)
       | "os-threads" ->
-          Baselines.run_round_robin ~label:(workload ^ "/os-threads")
-            ~opts:
-              { Baselines.default_opts with
-                Baselines.switch = Stallhide_runtime.Switch_cost.os_process }
-            (w true)
+          ( Baselines.run_round_robin ~label:(workload ^ "/os-threads")
+              ~opts:{ opts with Baselines.switch = Stallhide_runtime.Switch_cost.os_process }
+              (w true),
+            None,
+            None,
+            stream )
+      | "pgo" when attribution ->
+          (* builds its own streams: the baseline replay pairs with the
+             measured run *)
+          let a = Baselines.run_pgo_attributed ~primary ?scavenger_interval:interval (w false) in
+          ( a.Baselines.pgo_metrics,
+            Some a.Baselines.inst,
+            Some a.Baselines.attribution,
+            Some a.Baselines.stream )
       | "pgo" ->
-          let primary =
-            { Primary_pass.default_opts with Primary_pass.policy = policy_of_string policy }
-          in
-          let m, inst = Baselines.run_pgo ~primary ?scavenger_interval:interval (w false) in
+          let m, i = Baselines.run_pgo ~opts ~primary ?scavenger_interval:interval (w false) in
+          (m, Some i, None, stream)
+      | other -> invalid_arg other
+    in
+    (match trace_out with
+    | Some path -> write_file path (fun path -> Obs.Perfetto.write ~path (Option.get stream))
+    | None -> ());
+    if json then begin
+      let telemetry =
+        match stream with
+        | Some s ->
+            [
+              ( "telemetry",
+                Stallhide_util.Json.Obj
+                  [
+                    ("events", Stallhide_util.Json.Int (Obs.Stream.length s));
+                    ("dropped", Stallhide_util.Json.Int (Obs.Stream.dropped s));
+                    ("registry", Obs.Registry.to_json (Obs.Stream.registry s));
+                  ] );
+            ]
+        | None -> []
+      in
+      let attr_json =
+        match attr with Some a -> [ ("attribution", Obs.Attribution.to_json a) ] | None -> []
+      in
+      print_endline
+        (Stallhide_util.Json.to_string_pretty
+           (Stallhide_util.Json.Obj
+              ([
+                 ("schema_version", Stallhide_util.Json.Int 1);
+                 ("workload", Stallhide_util.Json.String workload);
+                 ("mechanism", Stallhide_util.Json.String mechanism);
+                 ("metrics", Metrics.to_json metrics);
+               ]
+              @ telemetry @ attr_json)))
+    end
+    else begin
+      (match inst with
+      | Some i ->
           Printf.printf "instrumentation: %d loads selected, %d yield sites, %d coalesced groups\n"
-            (List.length inst.Pipeline.primary.Primary_pass.selected)
-            inst.Pipeline.primary.Primary_pass.yield_sites
-            inst.Pipeline.primary.Primary_pass.coalesced_groups;
-          (match inst.Pipeline.scavenger with
+            (List.length i.Pipeline.primary.Primary_pass.selected)
+            i.Pipeline.primary.Primary_pass.yield_sites
+            i.Pipeline.primary.Primary_pass.coalesced_groups;
+          (match i.Pipeline.scavenger with
           | Some r ->
               Printf.printf "scavenger pass: %d conditional yields, %d uncovered loops\n"
                 r.Scavenger_pass.inserted r.Scavenger_pass.uncovered_loops
-          | None -> ());
-          m
-      | other -> invalid_arg other
-    in
-    Format.printf "%a@." Metrics.pp metrics
+          | None -> ())
+      | None -> ());
+      Format.printf "%a@." Metrics.pp metrics;
+      (match attr with
+      | Some a -> Format.printf "@.yield-site attribution:@.%a" Obs.Attribution.pp_report a
+      | None -> ());
+      match trace_out with
+      | Some path -> Printf.printf "trace written to %s\n" path
+      | None -> ()
+    end
+  in
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Emit the metrics (and any telemetry) as JSON on stdout.")
+  in
+  let trace_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE"
+             ~doc:"Write a Chrome/Perfetto trace_event JSON of the run to $(docv).")
+  in
+  let attribution_arg =
+    Arg.(value & flag
+         & info [ "attribution" ]
+             ~doc:"With --mechanism pgo: report per-yield-site predicted vs measured gain.")
   in
   let term =
     Term.(
       const run $ workload_arg $ mechanism_arg $ lanes_arg $ ops_arg $ seed_arg $ policy_arg
-      $ interval_arg)
+      $ interval_arg $ json_arg $ trace_out_arg $ attribution_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run a workload under a stall-hiding mechanism and print metrics.")
     term
@@ -116,6 +208,7 @@ let run_cmd =
 
 let disasm_cmd =
   let disasm workload lanes ops seed instrument profile_file policy interval =
+    check_workload workload;
     let w = make_workload workload ~lanes ~ops ~manual:false ~seed in
     if instrument then begin
       let primary =
@@ -162,19 +255,43 @@ let disasm_cmd =
 (* trace *)
 
 let trace_cmd =
-  let trace workload lanes ops seed interval width cycles =
+  let trace workload lanes ops seed interval width cycles format output =
+    check_workload workload;
+    let module Obs = Stallhide_obs in
     let w = make_workload workload ~lanes ~ops ~manual:false ~seed in
     let profiled = Pipeline.profile w in
     let w', _ = Pipeline.instrument ?scavenger_interval:interval profiled w in
-    let tracer = Stallhide_runtime.Tracer.create () in
+    (* one stream carries both the engine events (hooks) and the
+       scheduler events (?obs); the ASCII chart is a view over it *)
+    let stream = Obs.Stream.create () in
+    let engine =
+      { Stallhide_cpu.Engine.default_config with
+        Stallhide_cpu.Engine.hooks = Obs.Stream.hooks stream }
+    in
     let ctxs = Workload.contexts w' in
     let (_ : Stallhide_runtime.Scheduler.result) =
-      Stallhide_runtime.Scheduler.run_round_robin ~tracer ~max_cycles:cycles
+      Stallhide_runtime.Scheduler.run_round_robin ~engine ~obs:stream ~max_cycles:cycles
         ~switch:Stallhide_runtime.Switch_cost.coroutine
         (Stallhide_mem.Hierarchy.create Stallhide_mem.Memconfig.default)
         w'.Workload.image ctxs
     in
-    print_string (Stallhide_runtime.Tracer.render ~width tracer)
+    match format with
+    | "perfetto" ->
+        let path = match output with Some p -> p | None -> "trace.json" in
+        write_file path (fun path -> Obs.Perfetto.write ~path stream);
+        Printf.printf "trace written to %s (load in ui.perfetto.dev or chrome://tracing)\n" path
+    | _ -> (
+        let chart =
+          Stallhide_runtime.Tracer.render ~width (Stallhide_runtime.Tracer.of_stream stream)
+        in
+        match output with
+        | Some path ->
+            write_file path (fun path ->
+                let oc = open_out path in
+                output_string oc chart;
+                close_out oc);
+            Printf.printf "timeline written to %s\n" path
+        | None -> print_string chart)
   in
   let width_arg =
     Arg.(value & opt int 100 & info [ "width" ] ~docv:"COLS" ~doc:"Chart width in columns.")
@@ -182,20 +299,33 @@ let trace_cmd =
   let cycles_arg =
     Arg.(value & opt int 5000 & info [ "cycles" ] ~docv:"N" ~doc:"Simulated cycles to trace.")
   in
+  let format_arg =
+    Arg.(value & opt (enum [ ("ascii", "ascii"); ("perfetto", "perfetto") ]) "ascii"
+         & info [ "format" ] ~docv:"FMT"
+             ~doc:"ascii draws a Gantt chart; perfetto writes trace_event JSON.")
+  in
+  let output_arg =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE"
+             ~doc:"Write to $(docv) instead of stdout (perfetto default: trace.json).")
+  in
   let term =
     Term.(
       const trace $ workload_arg $ lanes_arg $ ops_arg $ seed_arg $ interval_arg $ width_arg
-      $ cycles_arg)
+      $ cycles_arg $ format_arg $ output_arg)
   in
   Cmd.v
     (Cmd.info "trace"
-       ~doc:"Draw an ASCII execution timeline of the instrumented workload under round-robin.")
+       ~doc:
+         "Trace the instrumented workload under round-robin: ASCII timeline or Chrome/Perfetto \
+          JSON.")
     term
 
 (* profile *)
 
 let profile_cmd =
   let profile workload lanes ops seed output =
+    check_workload workload;
     let w = make_workload workload ~lanes ~ops ~manual:false ~seed in
     let profiled = Pipeline.profile w in
     Printf.printf "profiling run: %d cycles, %d samples (est. overhead %.2f%%)\n"

@@ -9,6 +9,7 @@ type opts = {
   switch : Switch_cost.t;
   engine : Engine.config;
   max_cycles : int;
+  obs : Stallhide_obs.Stream.t option;
 }
 
 let default_opts =
@@ -17,14 +18,18 @@ let default_opts =
     switch = Switch_cost.coroutine;
     engine = Engine.default_config;
     max_cycles = max_int;
+    obs = None;
   }
 
-(* Counters + latency recorder composed onto the caller's hooks. *)
+(* Counters + latency recorder (+ telemetry when requested) composed
+   onto the caller's hooks. *)
 let instrumented_engine opts =
   let counters = Counters.create () in
   let recorder = Latency.recorder () in
   let hooks =
-    Events.compose [ opts.engine.Engine.hooks; Counters.hooks counters; Latency.hooks recorder ]
+    Events.compose
+      ([ opts.engine.Engine.hooks; Counters.hooks counters; Latency.hooks recorder ]
+      @ match opts.obs with Some s -> [ Stallhide_obs.Stream.hooks s ] | None -> [])
   in
   (counters, recorder, { opts.engine with Engine.hooks = hooks })
 
@@ -32,7 +37,10 @@ let run_sequential ?label ?(opts = default_opts) w =
   let counters, recorder, engine = instrumented_engine opts in
   let hier = Hierarchy.create opts.mem_cfg in
   let ctxs = Workload.contexts w in
-  let r = Scheduler.run_sequential ~engine ~max_cycles:opts.max_cycles hier w.Workload.image ctxs in
+  let r =
+    Scheduler.run_sequential ~engine ~max_cycles:opts.max_cycles ?obs:opts.obs hier
+      w.Workload.image ctxs
+  in
   let label = match label with Some l -> l | None -> w.Workload.name ^ "/none" in
   Metrics.of_sched ~label ~ops:counters.Counters.ops
     ~latency:(Latency.summarize (Latency.all recorder))
@@ -45,7 +53,11 @@ let run_ooo ?label ?(opts = default_opts) ~window w =
 
 let run_smt ?label ?(opts = default_opts) w =
   let counters = Counters.create () in
-  let hooks = Events.compose [ opts.engine.Engine.hooks; Counters.hooks counters ] in
+  let hooks =
+    Events.compose
+      ([ opts.engine.Engine.hooks; Counters.hooks counters ]
+      @ match opts.obs with Some s -> [ Stallhide_obs.Stream.hooks s ] | None -> [])
+  in
   let hier = Hierarchy.create opts.mem_cfg in
   let ctxs = Workload.contexts w in
   let r =
@@ -65,8 +77,8 @@ let run_round_robin ?label ?(opts = default_opts) w =
   let hier = Hierarchy.create opts.mem_cfg in
   let ctxs = Workload.contexts w in
   let r =
-    Scheduler.run_round_robin ~engine ~max_cycles:opts.max_cycles ~switch:opts.switch hier
-      w.Workload.image ctxs
+    Scheduler.run_round_robin ~engine ~max_cycles:opts.max_cycles ?obs:opts.obs
+      ~switch:opts.switch hier w.Workload.image ctxs
   in
   let label = match label with Some l -> l | None -> w.Workload.name ^ "/rr" in
   Metrics.of_sched ~label ~ops:counters.Counters.ops
@@ -79,6 +91,47 @@ let run_pgo ?label ?opts ?profile_config ?primary ?scavenger_interval w =
   let w', inst = Pipeline.instrument ?primary ?scavenger_interval profiled w in
   let label = match label with Some l -> l | None -> w.Workload.name ^ "/pgo" in
   (run_round_robin ~label ?opts w', inst)
+
+type attributed = {
+  pgo_metrics : Metrics.t;
+  inst : Pipeline.instrumented;
+  attribution : Stallhide_obs.Attribution.report;
+  stream : Stallhide_obs.Stream.t;
+}
+
+let run_pgo_attributed ?label ?opts ?profile_config ?(primary = Stallhide_binopt.Primary_pass.default_opts)
+    ?scavenger_interval w =
+  let o = match opts with Some o -> o | None -> default_opts in
+  let profiled = Pipeline.profile ?config:profile_config ~mem_cfg:o.mem_cfg w in
+  let w', inst = Pipeline.instrument ~primary ?scavenger_interval profiled w in
+  (* Baseline stall map: the uninstrumented workload run once more with
+     engine telemetry attached (the hooks do not touch the clock, so
+     this is exactly the run_sequential baseline). *)
+  let baseline = Stallhide_obs.Stream.create () in
+  let base_engine =
+    {
+      o.engine with
+      Engine.hooks =
+        Events.compose [ o.engine.Engine.hooks; Stallhide_obs.Stream.hooks baseline ];
+    }
+  in
+  let (_ : Scheduler.result) =
+    Scheduler.run_sequential ~engine:base_engine ~max_cycles:o.max_cycles
+      (Hierarchy.create o.mem_cfg) w.Workload.image (Workload.contexts w)
+  in
+  w.Workload.reset ();
+  let stream = Stallhide_obs.Stream.create () in
+  let label = match label with Some l -> l | None -> w.Workload.name ^ "/pgo" in
+  let pgo_metrics = run_round_robin ~label ~opts:{ o with obs = Some stream } w' in
+  let attribution =
+    Stallhide_obs.Attribution.build ~program:inst.Pipeline.program
+      ~orig_of_new:inst.Pipeline.orig_of_new
+      ~selected:inst.Pipeline.primary.Stallhide_binopt.Primary_pass.selected
+      ~machine:primary.Stallhide_binopt.Primary_pass.machine
+      ~estimates:(Stallhide_binopt.Gain_cost.of_profile profiled.Pipeline.profile)
+      ~baseline stream
+  in
+  { pgo_metrics; inst; attribution; stream }
 
 type dual_result = {
   metrics : Metrics.t;
@@ -100,7 +153,8 @@ let run_dual ?label ?(opts = default_opts) ~primary ~scavengers () =
   let r =
     Dual_mode.run
       ~config:{ Dual_mode.engine; switch = opts.switch; drain = true }
-      ~max_cycles:opts.max_cycles hier primary.Workload.image ~primary:p_ctx ~scavengers:s_ctxs
+      ~max_cycles:opts.max_cycles ?obs:opts.obs hier primary.Workload.image ~primary:p_ctx
+      ~scavengers:s_ctxs
   in
   let label =
     match label with

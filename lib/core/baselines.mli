@@ -27,6 +27,10 @@ type opts = {
   switch : Switch_cost.t;
   engine : Engine.config;
   max_cycles : int;
+  obs : Stallhide_obs.Stream.t option;
+      (** telemetry stream; when set, the engine hooks and the
+          scheduler feed it (cycle counts are unaffected — hooks never
+          touch the clock) *)
 }
 
 val default_opts : opts
@@ -49,6 +53,28 @@ val run_pgo :
   ?scavenger_interval:int ->
   Workload.t ->
   Metrics.t * Pipeline.instrumented
+
+type attributed = {
+  pgo_metrics : Metrics.t;
+  inst : Pipeline.instrumented;
+  attribution : Stallhide_obs.Attribution.report;
+      (** per yield site: model-predicted vs measured gain *)
+  stream : Stallhide_obs.Stream.t;  (** telemetry of the measured run *)
+}
+
+(** {!run_pgo} with telemetry: profiles, instruments, replays the
+    uninstrumented baseline to map per-pc stall, then runs the
+    instrumented program under round-robin with a stream attached and
+    attributes the stall delta to yield sites. Ignores [opts.obs] (it
+    builds its own streams). *)
+val run_pgo_attributed :
+  ?label:string ->
+  ?opts:opts ->
+  ?profile_config:Pipeline.profile_config ->
+  ?primary:Stallhide_binopt.Primary_pass.opts ->
+  ?scavenger_interval:int ->
+  Workload.t ->
+  attributed
 
 type dual_result = {
   metrics : Metrics.t;

@@ -17,7 +17,68 @@ let fi n =
     s;
   Buffer.contents buf
 
+(* ------------------------------------------------------------------ *)
+(* JSON artifact recording: [group id] opens a bucket; every [table]   *)
+(* printed while it is current is also captured, plus any extra values *)
+(* recorded explicitly; [write_json] dumps the lot.                    *)
+(* ------------------------------------------------------------------ *)
+
+type group_data = {
+  mutable tables : Stallhide_util.Json.t list;  (** newest first *)
+  mutable extra : (string * Stallhide_util.Json.t) list;  (** newest first *)
+}
+
+let recorded : (string * group_data) list ref = ref []  (* newest first *)
+
+let current : group_data option ref = ref None
+
+let group id =
+  let g = { tables = []; extra = [] } in
+  recorded := (id, g) :: !recorded;
+  current := Some g
+
+let record key json =
+  match !current with Some g -> g.extra <- (key, json) :: g.extra | None -> ()
+
+let reset_recording () =
+  recorded := [];
+  current := None
+
+let record_table ~title ~note ~header rows =
+  match !current with
+  | None -> ()
+  | Some g ->
+      let open Stallhide_util in
+      let strings cells = Json.List (List.map (fun c -> Json.String c) cells) in
+      let t =
+        Json.Obj
+          ([ ("title", Json.String title) ]
+          @ (match note with Some n -> [ ("note", Json.String n) ] | None -> [])
+          @ [ ("header", strings header); ("rows", Json.List (List.map strings rows)) ])
+      in
+      g.tables <- t :: g.tables
+
+let write_json ~path =
+  let open Stallhide_util in
+  let groups =
+    List.rev_map
+      (fun (id, g) ->
+        ( id,
+          Json.Obj
+            (("tables", Json.List (List.rev g.tables))
+            :: List.rev_map (fun (k, v) -> (k, v)) g.extra) ))
+      !recorded
+  in
+  Json.write ~path
+    (Json.Obj
+       [
+         ("schema_version", Json.Int 1);
+         ("tool", Json.String "stallhide-bench");
+         ("groups", Json.Obj groups);
+       ])
+
 let table ~title ?note ~header rows =
+  record_table ~title ~note ~header rows;
   let all = header :: rows in
   let cols = List.fold_left (fun m r -> max m (List.length r)) 0 all in
   let width = Array.make cols 0 in

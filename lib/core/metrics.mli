@@ -29,4 +29,10 @@ val of_smt : label:string -> ops:int -> Stallhide_cpu.Smt.result -> t
 (** Speedup of [a] over [b] in completed cycles (b.cycles / a.cycles). *)
 val speedup : t -> t -> float
 
+val latency_to_json : Latency.summary -> Stallhide_util.Json.t
+
+(** Stable machine-readable form: every field of {!t} under its own
+    name; [latency] is [null] when absent. *)
+val to_json : t -> Stallhide_util.Json.t
+
 val pp : Format.formatter -> t -> unit

@@ -185,12 +185,14 @@ let step cfg hier mem ~clock (ctx : Context.t) =
     | Instr.Yield Instr.Primary ->
         ctx.yields <- ctx.yields + 1;
         next ();
+        cfg.hooks.on_yield ~ctx:id ~pc ~kind:Instr.Primary ~fired:true ~cycle:!clock;
         retire ();
         Stop (Yielded (Instr.Primary, pc))
     | Instr.Yield Instr.Scavenger ->
         if ctx.mode = Context.Scavenger then begin
           ctx.yields <- ctx.yields + 1;
           next ();
+          cfg.hooks.on_yield ~ctx:id ~pc ~kind:Instr.Scavenger ~fired:true ~cycle:!clock;
           retire ();
           Stop (Yielded (Instr.Scavenger, pc))
         end
@@ -199,6 +201,7 @@ let step cfg hier mem ~clock (ctx : Context.t) =
           ctx.cond_checks <- ctx.cond_checks + 1;
           advance cfg.cond_check_cost;
           next ();
+          cfg.hooks.on_yield ~ctx:id ~pc ~kind:Instr.Scavenger ~fired:false ~cycle:!clock;
           retire ();
           Normal
         end
@@ -215,6 +218,7 @@ let step cfg hier mem ~clock (ctx : Context.t) =
         in
         next ();
         if resident then begin
+          cfg.hooks.on_yield ~ctx:id ~pc ~kind:Instr.Primary ~fired:false ~cycle:!clock;
           retire ();
           Normal
         end
@@ -222,6 +226,7 @@ let step cfg hier mem ~clock (ctx : Context.t) =
           Hierarchy.prefetch hier ~now:!clock addr;
           advance (Hierarchy.config hier).prefetch_issue_cost;
           ctx.yields <- ctx.yields + 1;
+          cfg.hooks.on_yield ~ctx:id ~pc ~kind:Instr.Primary ~fired:true ~cycle:!clock;
           retire ();
           Stop (Yielded (Instr.Primary, pc))
         end

@@ -17,6 +17,7 @@ type t = {
   on_stall : ctx:int -> pc:int -> cycles:int -> cycle:int -> unit;
   on_frontend_stall : ctx:int -> pc:int -> cycles:int -> cycle:int -> unit;
   on_opmark : ctx:int -> pc:int -> cycle:int -> unit;
+  on_yield : ctx:int -> pc:int -> kind:Instr.yield_kind -> fired:bool -> cycle:int -> unit;
 }
 
 let nop =
@@ -27,6 +28,7 @@ let nop =
     on_stall = (fun ~ctx:_ ~pc:_ ~cycles:_ ~cycle:_ -> ());
     on_frontend_stall = (fun ~ctx:_ ~pc:_ ~cycles:_ ~cycle:_ -> ());
     on_opmark = (fun ~ctx:_ ~pc:_ ~cycle:_ -> ());
+    on_yield = (fun ~ctx:_ ~pc:_ ~kind:_ ~fired:_ ~cycle:_ -> ());
   }
 
 let compose hs =
@@ -43,4 +45,7 @@ let compose hs =
       (fun ~ctx ~pc ~cycles ~cycle ->
         List.iter (fun h -> h.on_frontend_stall ~ctx ~pc ~cycles ~cycle) hs);
     on_opmark = (fun ~ctx ~pc ~cycle -> List.iter (fun h -> h.on_opmark ~ctx ~pc ~cycle) hs);
+    on_yield =
+      (fun ~ctx ~pc ~kind ~fired ~cycle ->
+        List.iter (fun h -> h.on_yield ~ctx ~pc ~kind ~fired ~cycle) hs);
   }

@@ -24,6 +24,10 @@ type t = {
   on_stall : ctx:int -> pc:int -> cycles:int -> cycle:int -> unit;
   on_frontend_stall : ctx:int -> pc:int -> cycles:int -> cycle:int -> unit;
   on_opmark : ctx:int -> pc:int -> cycle:int -> unit;
+  on_yield : ctx:int -> pc:int -> kind:Instr.yield_kind -> fired:bool -> cycle:int -> unit;
+      (** every yield-family instruction: [fired = false] when a
+          conditional or scavenger-phase yield fell through (the check
+          cycle was paid but the core was kept) *)
 }
 
 (** Hooks that do nothing. *)

@@ -1,0 +1,169 @@
+open Stallhide_isa
+open Stallhide_util
+open Stallhide_binopt
+
+type site = {
+  yield_pc : int;
+  kind : Instr.yield_kind;
+  covered : int list;
+  fires : int;
+  skips : int;
+  baseline_stall : int;
+  residual_stall : int;
+  hidden_stall : int;
+  switch_paid : int;
+  predicted_gain : float;
+  measured_gain : int;
+}
+
+type report = {
+  sites : site list;
+  total_baseline_stall : int;
+  total_residual_stall : int;
+  baseline_dropped : int;
+  dropped : int;
+}
+
+(* Static covering map over the instrumented program: each selected
+   load/wait belongs to the nearest preceding yield — the primary pass
+   emits the group's yield before its loads, so nearest-preceding is the
+   group structure, not a heuristic. *)
+let covering_sites program ~orig_of_new ~selected =
+  let is_selected = Hashtbl.create 16 in
+  List.iter (fun pc -> Hashtbl.replace is_selected pc ()) selected;
+  let sites = ref [] in
+  let current = ref None in
+  for pc = 0 to Program.length program - 1 do
+    match Program.instr program pc with
+    | Instr.Yield kind ->
+        current := Some (pc, kind, ref []);
+        sites := !current :: !sites
+    | Instr.Yield_cond _ ->
+        let kind = Instr.Primary in
+        current := Some (pc, kind, ref []);
+        sites := !current :: !sites
+    | Instr.Load _ | Instr.Accel_wait _ -> (
+        let orig = orig_of_new.(pc) in
+        if Hashtbl.mem is_selected orig then
+          match !current with
+          | Some (_, _, covered) -> covered := orig :: !covered
+          | None -> ())
+    | _ -> ()
+  done;
+  List.rev_map
+    (fun site ->
+      match site with
+      | Some (pc, kind, covered) -> (pc, kind, List.rev !covered)
+      | None -> assert false)
+    !sites
+
+let tbl_get tbl key ~default = Option.value ~default (Hashtbl.find_opt tbl key)
+
+let predicted machine estimates program ~yield_pc ~covered ~execs =
+  let live_regs =
+    match (Program.annot program yield_pc).Program.live_regs with
+    | Some n -> n
+    | None -> Reg.count
+  in
+  let per_exec =
+    List.fold_left
+      (fun acc orig ->
+        let p = Option.value ~default:0.0 (estimates.Gain_cost.miss_probability orig) in
+        let stall =
+          Option.value ~default:machine.Gain_cost.default_miss_stall
+            (estimates.Gain_cost.stall_per_miss orig)
+        in
+        acc +. ((p *. stall) -. machine.Gain_cost.prefetch_cost))
+      0.0 covered
+    -. (2.0 *. Gain_cost.switch_cost machine ~live_regs)
+  in
+  float_of_int execs *. per_exec
+
+let build ~program ~orig_of_new ~selected ~machine ~estimates ~baseline stream =
+  let base_stall = Stream.stall_by_pc baseline in
+  let map pc = orig_of_new.(pc) in
+  let residual = Stream.stall_by_pc ~map stream in
+  let yields = Stream.yields_by_pc stream in
+  let switches = Stream.switch_cycles_by_pc stream in
+  let sites =
+    covering_sites program ~orig_of_new ~selected
+    |> List.map (fun (yield_pc, kind, covered) ->
+           let fires, skips = tbl_get yields yield_pc ~default:(0, 0) in
+           let sum tbl = List.fold_left (fun acc pc -> acc + tbl_get tbl pc ~default:0) 0 covered in
+           let baseline_stall = sum base_stall in
+           let residual_stall = sum residual in
+           let switch_paid = tbl_get switches yield_pc ~default:0 in
+           let hidden_stall = baseline_stall - residual_stall in
+           {
+             yield_pc;
+             kind;
+             covered;
+             fires;
+             skips;
+             baseline_stall;
+             residual_stall;
+             hidden_stall;
+             switch_paid;
+             predicted_gain =
+               predicted machine estimates program ~yield_pc ~covered ~execs:(fires + skips);
+             measured_gain = hidden_stall - switch_paid;
+           })
+  in
+  let total tbl = Hashtbl.fold (fun _ v acc -> acc + v) tbl 0 in
+  {
+    sites;
+    total_baseline_stall = total base_stall;
+    total_residual_stall = total residual;
+    baseline_dropped = Stream.dropped baseline;
+    dropped = Stream.dropped stream;
+  }
+
+let pp_report fmt r =
+  Format.fprintf fmt "%-8s %-10s %-14s %8s %8s %9s %9s %8s %10s %10s@."
+    "yield@pc" "kind" "covers" "fires" "skips" "base" "residual" "switch" "predicted" "measured";
+  List.iter
+    (fun s ->
+      let covers =
+        match s.covered with
+        | [] -> "-"
+        | pcs -> String.concat "," (List.map string_of_int pcs)
+      in
+      Format.fprintf fmt "%-8d %-10s %-14s %8d %8d %9d %9d %8d %10.1f %10d@." s.yield_pc
+        (match s.kind with Instr.Primary -> "primary" | Instr.Scavenger -> "scavenger")
+        covers s.fires s.skips s.baseline_stall s.residual_stall s.switch_paid s.predicted_gain
+        s.measured_gain)
+    r.sites;
+  Format.fprintf fmt "total stall: baseline=%d residual=%d hidden=%d@." r.total_baseline_stall
+    r.total_residual_stall
+    (r.total_baseline_stall - r.total_residual_stall);
+  if r.dropped > 0 || r.baseline_dropped > 0 then
+    Format.fprintf fmt "warning: %d + %d events dropped; per-site numbers under-count@."
+      r.baseline_dropped r.dropped
+
+let to_json r =
+  Json.Obj
+    [
+      ( "sites",
+        Json.List
+          (List.map
+             (fun s ->
+               Json.Obj
+                 [
+                   ("yield_pc", Json.Int s.yield_pc);
+                   ("kind", Json.String (Event.kind_name s.kind));
+                   ("covered", Json.List (List.map (fun pc -> Json.Int pc) s.covered));
+                   ("fires", Json.Int s.fires);
+                   ("skips", Json.Int s.skips);
+                   ("baseline_stall", Json.Int s.baseline_stall);
+                   ("residual_stall", Json.Int s.residual_stall);
+                   ("hidden_stall", Json.Int s.hidden_stall);
+                   ("switch_paid", Json.Int s.switch_paid);
+                   ("predicted_gain", Json.Float s.predicted_gain);
+                   ("measured_gain", Json.Int s.measured_gain);
+                 ])
+             r.sites) );
+      ("total_baseline_stall", Json.Int r.total_baseline_stall);
+      ("total_residual_stall", Json.Int r.total_residual_stall);
+      ("baseline_dropped", Json.Int r.baseline_dropped);
+      ("dropped", Json.Int r.dropped);
+    ]

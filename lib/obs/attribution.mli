@@ -1,0 +1,55 @@
+(** Yield-site attribution: per instrumented site, what the gain/cost
+    model promised versus what the simulation delivered.
+
+    Sites are the [Yield]/[Yield_cond] instructions of the instrumented
+    program; each covers the selected loads (and accelerator waits)
+    between it and the next yield — exactly the group the primary pass
+    hoisted prefetches for. Measured numbers come from two runs over the
+    same workload: the stall the covered loads still pay in the
+    instrumented run ([residual_stall]) against what they paid
+    uninstrumented ([baseline_stall]), and the context-switch cycles the
+    site was charged. The model's promise is {!Gain_cost.expected_gain}
+    evaluated with the same estimates the selection used. *)
+
+open Stallhide_isa
+open Stallhide_binopt
+
+type site = {
+  yield_pc : int;  (** instrumented-program pc of the yield *)
+  kind : Instr.yield_kind;
+  covered : int list;  (** covered load/wait sites, original pcs *)
+  fires : int;
+  skips : int;  (** conditional/scavenger yields that fell through *)
+  baseline_stall : int;  (** covered sites' stall, uninstrumented run *)
+  residual_stall : int;  (** covered sites' stall, instrumented run *)
+  hidden_stall : int;  (** [baseline_stall - residual_stall] *)
+  switch_paid : int;  (** switch cycles charged at this site *)
+  predicted_gain : float;  (** model's total expected cycles saved *)
+  measured_gain : int;  (** [hidden_stall - switch_paid] *)
+}
+
+type report = {
+  sites : site list;  (** ascending [yield_pc] *)
+  total_baseline_stall : int;  (** all pcs, not just covered ones *)
+  total_residual_stall : int;
+  baseline_dropped : int;  (** events lost to buffer caps: attribution *)
+  dropped : int;  (** under-counts when either is non-zero *)
+}
+
+(** [build] pairs a baseline stream (uninstrumented run) with the
+    instrumented run's stream. [orig_of_new] is the pc map from
+    {!Primary_pass.run}; [selected] the sites it chose (original pcs);
+    [estimates] the same estimator the selection used. *)
+val build :
+  program:Program.t ->
+  orig_of_new:int array ->
+  selected:int list ->
+  machine:Gain_cost.machine ->
+  estimates:Gain_cost.estimates ->
+  baseline:Stream.t ->
+  Stream.t ->
+  report
+
+val pp_report : Format.formatter -> report -> unit
+
+val to_json : report -> Stallhide_util.Json.t

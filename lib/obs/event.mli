@@ -1,0 +1,54 @@
+(** Typed trace events — the single vocabulary every telemetry consumer
+    (timeline rendering, Perfetto export, yield-site attribution, the
+    counter registry) reads.
+
+    Producers: the execution engine (via {!Stream.hooks}), and the
+    schedulers/servers, which push scheduling-level events
+    ([Context_switch], [Dispatch], [Scavenger_escalation]) directly.
+    All cycle stamps come from the shared simulated clock, so events of
+    one context are monotone in recording order. *)
+
+open Stallhide_isa
+open Stallhide_mem
+
+type t =
+  | Yield of { ctx : int; pc : int; kind : Instr.yield_kind; fired : bool; cycle : int }
+      (** a yield-family instruction retired; [fired = false] means the
+          conditional check fell through and the core was kept *)
+  | Cache_access of {
+      ctx : int;
+      pc : int;
+      addr : int;
+      level : Hierarchy.level;  (** level that served the demand load *)
+      stall : int;  (** stall cycles actually paid (after OoO overlap) *)
+      cycle : int;
+    }
+  | Stall of { ctx : int; pc : int; cycles : int; cycle : int }
+      (** back-end stall paid at [pc] (demand load or accelerator wait) *)
+  | Frontend_stall of { ctx : int; pc : int; cycles : int; cycle : int }
+  | Op_retired of { ctx : int; pc : int; cycle : int }
+      (** an application-level operation completed ([Opmark]) *)
+  | Context_switch of {
+      from_ctx : int;
+      to_ctx : int;  (** [-1] when the scheduler has not picked yet *)
+      at_pc : int;  (** yield site charged, [-1] for halt/fault switches *)
+      cost : int;
+      cycle : int;
+    }
+  | Scavenger_escalation of { ctx : int; pc : int; cycle : int }
+      (** a scavenger hit its own miss inside a primary's stall window
+          and the core was handed to the next one (§3.3) *)
+  | Dispatch of { ctx : int; start : int; stop : int }
+      (** one scheduler dispatch span: [ctx] held the core over
+          [start, stop) *)
+
+(** Context the event belongs to ([from_ctx] for switches). *)
+val ctx_of : t -> int
+
+(** Cycle stamp ([start] for dispatch spans). *)
+val cycle_of : t -> int
+
+(** ["primary"] or ["scavenger"]. *)
+val kind_name : Instr.yield_kind -> string
+
+val pp : Format.formatter -> t -> unit

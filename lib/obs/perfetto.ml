@@ -1,0 +1,78 @@
+open Stallhide_util
+open Stallhide_mem
+
+let instant ~name ~cat ~tid ~ts args =
+  Json.Obj
+    ([
+       ("name", Json.String name);
+       ("cat", Json.String cat);
+       ("ph", Json.String "i");
+       ("s", Json.String "t");
+       ("pid", Json.Int 0);
+       ("tid", Json.Int tid);
+       ("ts", Json.Int ts);
+     ]
+    @ match args with [] -> [] | _ -> [ ("args", Json.Obj args) ])
+
+let event_json = function
+  | Event.Dispatch { ctx; start; stop } ->
+      Some
+        (Json.Obj
+           [
+             ("name", Json.String (Printf.sprintf "ctx %d" ctx));
+             ("cat", Json.String "dispatch");
+             ("ph", Json.String "X");
+             ("pid", Json.Int 0);
+             ("tid", Json.Int ctx);
+             ("ts", Json.Int start);
+             ("dur", Json.Int (stop - start));
+           ])
+  | Event.Yield { ctx; pc; kind; fired; cycle } ->
+      Some
+        (instant ~name:(if fired then "yield" else "yield-skip") ~cat:"yield" ~tid:ctx ~ts:cycle
+           [
+             ("pc", Json.Int pc);
+             ("kind", Json.String (Event.kind_name kind));
+             ("fired", Json.Bool fired);
+           ])
+  | Event.Cache_access { ctx; pc; addr; level; stall; cycle } ->
+      (* hits are numerous and carry no latency story; keep the trace loadable *)
+      if stall = 0 then None
+      else
+        Some
+          (instant ~name:("miss-" ^ Hierarchy.level_name level) ~cat:"mem" ~tid:ctx ~ts:cycle
+             [ ("pc", Json.Int pc); ("addr", Json.Int addr); ("stall", Json.Int stall) ])
+  | Event.Stall _ | Event.Frontend_stall _ -> None
+  | Event.Op_retired { ctx; pc; cycle } ->
+      Some (instant ~name:"op" ~cat:"op" ~tid:ctx ~ts:cycle [ ("pc", Json.Int pc) ])
+  | Event.Context_switch { from_ctx; to_ctx; at_pc; cost; cycle } ->
+      Some
+        (instant ~name:"switch" ~cat:"sched" ~tid:from_ctx ~ts:cycle
+           [ ("to", Json.Int to_ctx); ("pc", Json.Int at_pc); ("cost", Json.Int cost) ])
+  | Event.Scavenger_escalation { ctx; pc; cycle } ->
+      Some (instant ~name:"scavenger-escalation" ~cat:"sched" ~tid:ctx ~ts:cycle [ ("pc", Json.Int pc) ])
+
+let to_json stream =
+  let ctxs = Hashtbl.create 8 in
+  Stream.iter (fun e -> Hashtbl.replace ctxs (Event.ctx_of e) ()) stream;
+  let metadata =
+    Hashtbl.fold (fun ctx () acc -> ctx :: acc) ctxs []
+    |> List.sort compare
+    |> List.map (fun ctx ->
+           Json.Obj
+             [
+               ("name", Json.String "thread_name");
+               ("ph", Json.String "M");
+               ("pid", Json.Int 0);
+               ("tid", Json.Int ctx);
+               ("args", Json.Obj [ ("name", Json.String (Printf.sprintf "context %d" ctx)) ]);
+             ])
+  in
+  let body = List.filter_map event_json (Stream.events stream) in
+  Json.Obj
+    [
+      ("displayTimeUnit", Json.String "ns");
+      ("traceEvents", Json.List (metadata @ body));
+    ]
+
+let write ~path stream = Json.write ~path (to_json stream)

@@ -1,0 +1,12 @@
+(** Chrome/Perfetto [trace_event] exporter.
+
+    Renders a {!Stream.t} as the JSON object format both
+    [chrome://tracing] and [ui.perfetto.dev] load: one track (tid) per
+    simulated context, [Dispatch] spans as complete ("X") events, and
+    yields, context switches, scavenger escalations and missing loads as
+    instants. Timestamps are simulated cycles (declared as ns — the unit
+    Perfetto displays; cycles are the only clock the simulator has). *)
+
+val to_json : Stream.t -> Stallhide_util.Json.t
+
+val write : path:string -> Stream.t -> unit

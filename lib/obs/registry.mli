@@ -1,0 +1,61 @@
+(** Counter and histogram registry.
+
+    Counters and histograms are keyed by name *per context* so consumers
+    can attribute (how many yields did the primary take vs the
+    scavengers?) and merged on demand for aggregate views. Histograms
+    are log-bucketed (bucket [i] holds values [v] with
+    [2^(i-1) <= v < 2^i]; bucket 0 holds [v <= 0]), so recording is O(1)
+    and merging is bucket-wise addition — the shape CoroBase-style
+    per-coroutine accounting needs at simulation speed. *)
+
+type t
+
+type counter
+
+type histogram
+
+val create : unit -> t
+
+(** Get-or-create; the same [(name, ctx)] pair always returns the same
+    counter. Use [ctx = -1] for context-less (global) series. *)
+val counter : t -> ctx:int -> string -> counter
+
+val incr : ?by:int -> counter -> unit
+
+val histogram : t -> ctx:int -> string -> histogram
+
+val observe : histogram -> int -> unit
+
+(** {2 Reading} *)
+
+val counter_value : counter -> int
+
+(** Sum of a counter across all contexts; 0 when never written. *)
+val total : t -> string -> int
+
+(** Per-context values of a counter, sorted by context id. *)
+val by_ctx : t -> string -> (int * int) list
+
+(** Bucket-wise merge of a histogram across all contexts; [None] when
+    never written. *)
+val merged : t -> string -> histogram option
+
+val hist_count : histogram -> int
+
+val hist_sum : histogram -> int
+
+val hist_max : histogram -> int
+
+(** Upper bound of the bucket containing quantile [q] in [0,1] — an
+    approximation good to 2x, like any log-bucketed sketch. *)
+val hist_quantile : histogram -> float -> int
+
+(** All registered series names (counters and histograms), sorted. *)
+val names : t -> string list
+
+val reset : t -> unit
+
+(** Stable machine-readable dump: counters as
+    [{total, by_ctx}] and histograms as
+    [{count, sum, max, p50, p99, buckets}] (merged across contexts). *)
+val to_json : t -> Stallhide_util.Json.t

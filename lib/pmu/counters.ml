@@ -13,6 +13,8 @@ type t = {
   mutable branches : int;
   mutable taken_branches : int;
   mutable ops : int;
+  mutable yields_fired : int;
+  mutable yields_skipped : int;
 }
 
 let create () =
@@ -28,6 +30,8 @@ let create () =
     branches = 0;
     taken_branches = 0;
     ops = 0;
+    yields_fired = 0;
+    yields_skipped = 0;
   }
 
 let hooks t =
@@ -50,6 +54,10 @@ let hooks t =
       (fun ~ctx:_ ~pc:_ ~cycles ~cycle:_ ->
         t.frontend_stall_cycles <- t.frontend_stall_cycles + cycles);
     on_opmark = (fun ~ctx:_ ~pc:_ ~cycle:_ -> t.ops <- t.ops + 1);
+    on_yield =
+      (fun ~ctx:_ ~pc:_ ~kind:_ ~fired ~cycle:_ ->
+        if fired then t.yields_fired <- t.yields_fired + 1
+        else t.yields_skipped <- t.yields_skipped + 1);
   }
 
 let reset t =
@@ -63,10 +71,13 @@ let reset t =
   t.frontend_stall_cycles <- 0;
   t.branches <- 0;
   t.taken_branches <- 0;
-  t.ops <- 0
+  t.ops <- 0;
+  t.yields_fired <- 0;
+  t.yields_skipped <- 0
 
 let pp fmt t =
   Format.fprintf fmt
-    "instr=%d loads=%d l1=%d l2=%d l3=%d dram=%d stall=%d fe_stall=%d branches=%d taken=%d ops=%d"
+    "instr=%d loads=%d l1=%d l2=%d l3=%d dram=%d stall=%d fe_stall=%d branches=%d taken=%d \
+     ops=%d yields=%d/%d"
     t.instructions t.loads t.l1_hits t.l2_hits t.l3_hits t.dram_loads t.stall_cycles
-    t.frontend_stall_cycles t.branches t.taken_branches t.ops
+    t.frontend_stall_cycles t.branches t.taken_branches t.ops t.yields_fired t.yields_skipped

@@ -14,6 +14,8 @@ type t = {
   mutable branches : int;
   mutable taken_branches : int;
   mutable ops : int;
+  mutable yields_fired : int;
+  mutable yields_skipped : int;  (** conditional/scavenger checks that fell through *)
 }
 
 val create : unit -> t

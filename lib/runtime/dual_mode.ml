@@ -12,7 +12,8 @@ type result = {
   scavenger_switches : int;
 }
 
-let run ?(config = default_config) ?(max_cycles = max_int) ?tracer hier mem ~primary ~scavengers =
+let run ?(config = default_config) ?(max_cycles = max_int) ?tracer ?obs hier mem ~primary
+    ~scavengers =
   primary.Context.mode <- Context.Primary;
   Array.iter (fun s -> s.Context.mode <- Context.Scavenger) scavengers;
   let n = Array.length scavengers in
@@ -22,9 +23,13 @@ let run ?(config = default_config) ?(max_cycles = max_int) ?tracer hier mem ~pri
   let scav_switches = ref 0 in
   let faults = ref [] in
   let primary_done_at = ref (-1) in
-  let charge cost =
+  let emit event = match obs with Some s -> Stallhide_obs.Stream.record s event | None -> () in
+  let charge ~from_ctx ~at_pc cost =
     incr switches;
     switch_cycles := !switch_cycles + cost;
+    emit
+      (Stallhide_obs.Event.Context_switch
+         { from_ctx; to_ctx = -1; at_pc; cost; cycle = !clock });
     clock := !clock + cost
   in
   let rr = ref 0 in
@@ -52,15 +57,22 @@ let run ?(config = default_config) ?(max_cycles = max_int) ?tracer hier mem ~pri
       | j -> (
           incr scav_switches;
           let s = scavengers.(j) in
-          match Scheduler.traced ?tracer config.engine hier mem ~clock ~deadline:max_cycles s with
+          match
+            Scheduler.traced ?tracer ?obs config.engine hier mem ~clock ~deadline:max_cycles s
+          with
           | Engine.Yielded (Instr.Scavenger, pc) ->
-              charge (Switch_cost.at_site config.switch s.Context.program pc)
+              charge ~from_ctx:s.Context.id ~at_pc:pc
+                (Switch_cost.at_site config.switch s.Context.program pc)
           | Engine.Yielded (Instr.Primary, pc) ->
               (* Scavenger hit its own miss: hand the core to the next one. *)
-              charge (Switch_cost.at_site config.switch s.Context.program pc);
+              emit
+                (Stallhide_obs.Event.Scavenger_escalation
+                   { ctx = s.Context.id; pc; cycle = !clock });
+              charge ~from_ctx:s.Context.id ~at_pc:pc
+                (Switch_cost.at_site config.switch s.Context.program pc);
               hide (budget_guard - 1)
           | Engine.Halted ->
-              charge config.switch.Switch_cost.base;
+              charge ~from_ctx:s.Context.id ~at_pc:(-1) config.switch.Switch_cost.base;
               hide (budget_guard - 1)
           | Engine.Out_of_budget -> ()
           | Engine.Fault m ->
@@ -69,9 +81,12 @@ let run ?(config = default_config) ?(max_cycles = max_int) ?tracer hier mem ~pri
   in
   let rec primary_loop () =
     if !clock < max_cycles then
-      match Scheduler.traced ?tracer config.engine hier mem ~clock ~deadline:max_cycles primary with
+      match
+        Scheduler.traced ?tracer ?obs config.engine hier mem ~clock ~deadline:max_cycles primary
+      with
       | Engine.Yielded (_, pc) ->
-          charge (Switch_cost.at_site config.switch primary.Context.program pc);
+          charge ~from_ctx:primary.Context.id ~at_pc:pc
+            (Switch_cost.at_site config.switch primary.Context.program pc);
           hide (2 * n);
           primary_loop ()
       | Engine.Halted -> primary_done_at := !clock
@@ -87,10 +102,13 @@ let run ?(config = default_config) ?(max_cycles = max_int) ?tracer hier mem ~pri
       | -1 -> continue := false
       | j -> (
           let s = scavengers.(j) in
-          match Scheduler.traced ?tracer config.engine hier mem ~clock ~deadline:max_cycles s with
+          match
+            Scheduler.traced ?tracer ?obs config.engine hier mem ~clock ~deadline:max_cycles s
+          with
           | Engine.Yielded (_, pc) ->
               incr scav_switches;
-              charge (Switch_cost.at_site config.switch s.Context.program pc)
+              charge ~from_ctx:s.Context.id ~at_pc:pc
+                (Switch_cost.at_site config.switch s.Context.program pc)
           | Engine.Halted -> ()
           | Engine.Out_of_budget -> continue := false
           | Engine.Fault m -> faults := m :: !faults)

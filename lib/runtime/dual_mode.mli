@@ -33,6 +33,7 @@ val run :
   ?config:config ->
   ?max_cycles:int ->
   ?tracer:Tracer.t ->
+  ?obs:Stallhide_obs.Stream.t ->
   Stallhide_mem.Hierarchy.t ->
   Stallhide_mem.Address_space.t ->
   primary:Context.t ->

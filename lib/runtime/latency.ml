@@ -26,7 +26,16 @@ let of_ctx r ctx = match Hashtbl.find_opt r.lats ctx with Some v -> Vec.to_list 
 
 let all r = Hashtbl.fold (fun _ v acc -> Vec.to_list v @ acc) r.lats []
 
-type summary = { count : int; mean : float; p50 : int; p90 : int; p99 : int; max : int }
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;
+  p50 : int;
+  p90 : int;
+  p99 : int;
+  p999 : int;
+  max : int;
+}
 
 let percentile xs q =
   match xs with
@@ -44,16 +53,26 @@ let summarize xs =
   | _ ->
       let n = List.length xs in
       let sum = List.fold_left ( + ) 0 xs in
+      let mean = float_of_int sum /. float_of_int n in
+      let sq_dev =
+        List.fold_left
+          (fun acc x ->
+            let d = float_of_int x -. mean in
+            acc +. (d *. d))
+          0.0 xs
+      in
       Some
         {
           count = n;
-          mean = float_of_int sum /. float_of_int n;
+          mean;
+          stddev = sqrt (sq_dev /. float_of_int n);
           p50 = percentile xs 0.50;
           p90 = percentile xs 0.90;
           p99 = percentile xs 0.99;
+          p999 = percentile xs 0.999;
           max = List.fold_left max min_int xs;
         }
 
 let pp_summary fmt s =
-  Format.fprintf fmt "n=%d mean=%.1f p50=%d p90=%d p99=%d max=%d" s.count s.mean s.p50 s.p90
-    s.p99 s.max
+  Format.fprintf fmt "n=%d mean=%.1f sd=%.1f p50=%d p90=%d p99=%d p99.9=%d max=%d" s.count s.mean
+    s.stddev s.p50 s.p90 s.p99 s.p999 s.max

@@ -21,7 +21,16 @@ val of_ctx : recorder -> int -> int list
 (** All latencies across contexts. *)
 val all : recorder -> int list
 
-type summary = { count : int; mean : float; p50 : int; p90 : int; p99 : int; max : int }
+type summary = {
+  count : int;
+  mean : float;
+  stddev : float;  (** population standard deviation *)
+  p50 : int;
+  p90 : int;
+  p99 : int;
+  p999 : int;  (** the tail §3.3 manages: 99.9th percentile *)
+  max : int;
+}
 
 val summarize : int list -> summary option
 

@@ -25,22 +25,28 @@ let collect (ctxs : Context.t array) ~clock ~switches ~switch_cycles ~faults =
   in
   { cycles = clock; stall; switch_cycles; switches; instructions; completed; faults }
 
-let traced ?tracer engine hier mem ~clock ~deadline (ctx : Context.t) =
+let emit obs event =
+  match obs with Some s -> Stallhide_obs.Stream.record s event | None -> ()
+
+let traced ?tracer ?obs engine hier mem ~clock ~deadline (ctx : Context.t) =
   let before = !clock in
   let r = Engine.run engine hier mem ~clock ~deadline ctx in
-  (match tracer with
-  | Some t -> Tracer.record t ~ctx:ctx.Context.id ~start:before ~stop:!clock
-  | None -> ());
+  if !clock > before then begin
+    (match tracer with
+    | Some t -> Tracer.record t ~ctx:ctx.Context.id ~start:before ~stop:!clock
+    | None -> ());
+    emit obs (Stallhide_obs.Event.Dispatch { ctx = ctx.Context.id; start = before; stop = !clock })
+  end;
   r
 
-let run_sequential ?(engine = Engine.default_config) ?(max_cycles = max_int) ?tracer hier mem
+let run_sequential ?(engine = Engine.default_config) ?(max_cycles = max_int) ?tracer ?obs hier mem
     ctxs =
   let clock = ref 0 in
   let faults = ref [] in
   Array.iter
     (fun ctx ->
       let rec go () =
-        match traced ?tracer engine hier mem ~clock ~deadline:max_cycles ctx with
+        match traced ?tracer ?obs engine hier mem ~clock ~deadline:max_cycles ctx with
         | Engine.Yielded _ -> go ()  (* nothing to switch to: resume free *)
         | Engine.Halted | Engine.Out_of_budget -> ()
         | Engine.Fault m -> faults := m :: !faults
@@ -49,8 +55,8 @@ let run_sequential ?(engine = Engine.default_config) ?(max_cycles = max_int) ?tr
     ctxs;
   collect ctxs ~clock:!clock ~switches:0 ~switch_cycles:0 ~faults:(List.rev !faults)
 
-let run_round_robin ?(engine = Engine.default_config) ?(max_cycles = max_int) ?tracer ~switch
-    hier mem ctxs =
+let run_round_robin ?(engine = Engine.default_config) ?(max_cycles = max_int) ?tracer ?obs
+    ~switch hier mem ctxs =
   let n = Array.length ctxs in
   if n = 0 then invalid_arg "Scheduler.run_round_robin: no contexts";
   let clock = ref 0 in
@@ -67,25 +73,29 @@ let run_round_robin ?(engine = Engine.default_config) ?(max_cycles = max_int) ?t
     in
     loop 1
   in
-  let charge cost =
+  let charge ~from_ctx ~to_ctx ~at_pc cost =
     incr switches;
     switch_cycles := !switch_cycles + cost;
+    emit obs (Stallhide_obs.Event.Context_switch { from_ctx; to_ctx; at_pc; cost; cycle = !clock });
     clock := !clock + cost
   in
   let cur = ref (if Context.is_ready ctxs.(0) then 0 else next_after 0) in
   while !cur >= 0 && !clock < max_cycles do
     let ctx = ctxs.(!cur) in
-    (match traced ?tracer engine hier mem ~clock ~deadline:max_cycles ctx with
+    (match traced ?tracer ?obs engine hier mem ~clock ~deadline:max_cycles ctx with
     | Engine.Yielded (_, pc) ->
         let nxt = next_after !cur in
         if nxt >= 0 && nxt <> !cur then begin
-          charge (Switch_cost.at_site switch ctx.Context.program pc);
+          charge ~from_ctx:ctx.Context.id ~to_ctx:ctxs.(nxt).Context.id ~at_pc:pc
+            (Switch_cost.at_site switch ctx.Context.program pc);
           cur := nxt
         end
         (* else: alone in the batch, resume for free *)
     | Engine.Halted ->
         let nxt = next_after !cur in
-        if nxt >= 0 then charge switch.Switch_cost.base;
+        if nxt >= 0 then
+          charge ~from_ctx:ctx.Context.id ~to_ctx:ctxs.(nxt).Context.id ~at_pc:(-1)
+            switch.Switch_cost.base;
         cur := nxt
     | Engine.Out_of_budget -> cur := -1
     | Engine.Fault m ->

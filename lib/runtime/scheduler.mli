@@ -34,6 +34,7 @@ val run_sequential :
   ?engine:Engine.config ->
   ?max_cycles:int ->
   ?tracer:Tracer.t ->
+  ?obs:Stallhide_obs.Stream.t ->
   Stallhide_mem.Hierarchy.t ->
   Stallhide_mem.Address_space.t ->
   Context.t array ->
@@ -43,6 +44,7 @@ val run_round_robin :
   ?engine:Engine.config ->
   ?max_cycles:int ->
   ?tracer:Tracer.t ->
+  ?obs:Stallhide_obs.Stream.t ->
   switch:Switch_cost.t ->
   Stallhide_mem.Hierarchy.t ->
   Stallhide_mem.Address_space.t ->
@@ -51,10 +53,14 @@ val run_round_robin :
 
 val pp_result : Format.formatter -> result -> unit
 
-(** [traced ?tracer engine hier mem ~clock ~deadline ctx] runs the
-    engine and records the dispatch span (scheduler building block). *)
+(** [traced ?tracer ?obs engine hier mem ~clock ~deadline ctx] runs the
+    engine and records the dispatch span into the tracer and/or the
+    telemetry stream (scheduler building block). Scheduling-level
+    events ([Dispatch], [Context_switch], [Scavenger_escalation]) go to
+    [obs]; the engine-level hooks in [engine] are independent of it. *)
 val traced :
   ?tracer:Tracer.t ->
+  ?obs:Stallhide_obs.Stream.t ->
   Engine.config ->
   Stallhide_mem.Hierarchy.t ->
   Stallhide_mem.Address_space.t ->

@@ -1,38 +1,50 @@
-open Stallhide_util
+module Stream = Stallhide_obs.Stream
+module Event = Stallhide_obs.Event
 
 type span = { ctx : int; start : int; stop : int }
 
-type t = { buf : span Vec.t; max_spans : int; mutable dropped : int }
+type t = Stream.t
 
-let create ?(max_spans = 65536) () = { buf = Vec.create (); max_spans; dropped = 0 }
+let create ?(max_spans = 65536) () = Stream.create ~capacity:max_spans ()
+
+let of_stream s = s
+
+let stream t = t
 
 let record t ~ctx ~start ~stop =
-  if stop > start then begin
-    if Vec.length t.buf < t.max_spans then Vec.push t.buf { ctx; start; stop }
-    else t.dropped <- t.dropped + 1
-  end
+  if stop > start then Stream.record t (Event.Dispatch { ctx; start; stop })
 
-let spans t = Vec.to_list t.buf
+let spans t = List.map (fun (ctx, start, stop) -> { ctx; start; stop }) (Stream.spans t)
 
-let span_count t = Vec.length t.buf
+let span_count t =
+  let n = ref 0 in
+  Stream.iter (function Event.Dispatch _ -> incr n | _ -> ()) t;
+  !n
 
-let dropped t = t.dropped
+let dropped t = Stream.dropped t
+
+let reset t = Stream.reset t
 
 let busy_of t ctx =
   let acc = ref 0 in
-  Vec.iter (fun s -> if s.ctx = ctx then acc := !acc + (s.stop - s.start)) t.buf;
+  Stream.iter
+    (function
+      | Event.Dispatch { ctx = c; start; stop } when c = ctx -> acc := !acc + (stop - start)
+      | _ -> ())
+    t;
   !acc
 
 let render ?(width = 72) t =
-  if Vec.is_empty t.buf then ""
+  let spans = spans t in
+  if spans = [] then ""
   else begin
     let t_end = ref 0 in
     let ids = Hashtbl.create 8 in
-    Vec.iter
+    List.iter
       (fun s ->
         t_end := max !t_end s.stop;
         Hashtbl.replace ids s.ctx ())
-      t.buf;
+      spans;
     let ids = List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) ids []) in
     let scale = max 1 ((!t_end + width - 1) / width) in
     let buf = Buffer.create 1024 in
@@ -40,14 +52,16 @@ let render ?(width = 72) t =
     List.iter
       (fun ctx ->
         let row = Bytes.make width '.' in
-        Vec.iter
+        List.iter
           (fun s ->
             if s.ctx = ctx then
               for col = s.start / scale to min (width - 1) ((s.stop - 1) / scale) do
                 Bytes.set row col '#'
               done)
-          t.buf;
+          spans;
         Buffer.add_string buf (Printf.sprintf "ctx %3d  %s\n" ctx (Bytes.to_string row)))
       ids;
+    if Stream.dropped t > 0 then
+      Buffer.add_string buf (Printf.sprintf "(+%d dropped)\n" (Stream.dropped t));
     Buffer.contents buf
   end

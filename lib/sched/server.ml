@@ -41,7 +41,7 @@ let efficiency r =
   else
     float_of_int (r.cycles - r.idle - r.switch_cycles - r.stall) /. float_of_int r.cycles
 
-let run ?(config = default_config) ?(max_cycles = max_int) hier mem tasks =
+let run ?(config = default_config) ?(max_cycles = max_int) ?obs hier mem tasks =
   let rec sorted = function
     | a :: (b :: _ as rest) -> a.Task.arrival <= b.Task.arrival && sorted rest
     | [ _ ] | [] -> true
@@ -115,20 +115,35 @@ let run ?(config = default_config) ?(max_cycles = max_int) hier mem tasks =
     Stallhide_util.Vec.clear active;
     Stallhide_util.Vec.iter (Stallhide_util.Vec.push active) live
   in
+  let emit event =
+    match obs with Some s -> Stallhide_obs.Stream.record s event | None -> ()
+  in
+  let switch_event ~from_ctx ~at_pc cost =
+    emit
+      (Stallhide_obs.Event.Context_switch { from_ctx; to_ctx = -1; at_pc; cost; cycle = !clock })
+  in
   let charge (t : Task.t) pc =
     incr switches;
     let c = Switch_cost.at_site config.switch t.Task.ctx.Context.program pc in
     switch_cycles := !switch_cycles + c;
+    switch_event ~from_ctx:t.Task.ctx.Context.id ~at_pc:pc c;
     clock := !clock + c
   in
   let charge_base () =
     incr switches;
     switch_cycles := !switch_cycles + config.switch.Switch_cost.base;
+    switch_event ~from_ctx:(-1) ~at_pc:(-1) config.switch.Switch_cost.base;
     clock := !clock + config.switch.Switch_cost.base
   in
   let dispatch (t : Task.t) =
     if t.Task.started_at < 0 then t.Task.started_at <- !clock;
-    Engine.run config.engine hier mem ~clock ~deadline:max_cycles t.Task.ctx
+    let before = !clock in
+    let r = Engine.run config.engine hier mem ~clock ~deadline:max_cycles t.Task.ctx in
+    if !clock > before then
+      emit
+        (Stallhide_obs.Event.Dispatch
+           { ctx = t.Task.ctx.Context.id; start = before; stop = !clock });
+    r
   in
   (* Event-aware: batch tasks fill a latency task's stall until one of
      them reaches a scavenger-phase yield. *)
@@ -154,6 +169,9 @@ let run ?(config = default_config) ?(max_cycles = max_int) hier mem tasks =
           match dispatch t with
           | Engine.Yielded (Instr.Scavenger, pc) -> charge t pc
           | Engine.Yielded (Instr.Primary, pc) ->
+              emit
+                (Stallhide_obs.Event.Scavenger_escalation
+                   { ctx = t.Task.ctx.Context.id; pc; cycle = !clock });
               charge t pc;
               hide (guard - 1)
           | Engine.Halted | Engine.Fault _ ->

@@ -48,7 +48,16 @@ type result = {
 
 val efficiency : result -> float
 
-(** Tasks must be sorted by arrival time.
+(** Tasks must be sorted by arrival time. [obs] receives
+    scheduling-level telemetry ([Dispatch] spans, [Context_switch],
+    [Scavenger_escalation]); engine-level events come from the hooks in
+    [config.engine], independent of it.
     @raise Invalid_argument otherwise. *)
 val run :
-  ?config:config -> ?max_cycles:int -> Hierarchy.t -> Address_space.t -> Task.t list -> result
+  ?config:config ->
+  ?max_cycles:int ->
+  ?obs:Stallhide_obs.Stream.t ->
+  Hierarchy.t ->
+  Address_space.t ->
+  Task.t list ->
+  result

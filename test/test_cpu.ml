@@ -383,6 +383,7 @@ let test_hooks () =
       on_stall = (fun ~ctx:_ ~pc:_ ~cycles ~cycle:_ -> stalls := !stalls + cycles);
       on_frontend_stall = (fun ~ctx:_ ~pc:_ ~cycles:_ ~cycle:_ -> ());
       on_opmark = (fun ~ctx:_ ~pc:_ ~cycle:_ -> incr marks);
+      on_yield = (fun ~ctx:_ ~pc:_ ~kind:_ ~fired:_ ~cycle:_ -> ());
     }
   in
   let engine = { Engine.default_config with Engine.hooks } in

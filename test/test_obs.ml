@@ -1,0 +1,152 @@
+open Stallhide
+open Stallhide_util
+open Stallhide_mem
+open Stallhide_workloads
+module Obs = Stallhide_obs
+
+let chase ?image ?(lanes = 8) ?(hops = 400) ?compute () =
+  Pointer_chase.make ?image ?compute ~lanes ~nodes_per_lane:2048 ~hops ~seed:42 ()
+
+let with_obs () =
+  let s = Obs.Stream.create () in
+  ({ Baselines.default_opts with Baselines.obs = Some s }, s)
+
+(* --- Zero-overhead invariant ---
+
+   Telemetry must never touch the simulated clock: the same workload
+   (fresh image, same seed) completes in exactly the same number of
+   cycles with a stream attached as without. *)
+
+let test_zero_overhead_sequential () =
+  let bare = Baselines.run_sequential (chase ()) in
+  let opts, s = with_obs () in
+  let obs = Baselines.run_sequential ~opts (chase ()) in
+  Alcotest.(check int) "cycles identical" bare.Metrics.cycles obs.Metrics.cycles;
+  Alcotest.(check bool) "events recorded" true (Obs.Stream.length s > 0)
+
+let test_zero_overhead_round_robin () =
+  let bare = Baselines.run_round_robin (chase ()) in
+  let opts, s = with_obs () in
+  let obs = Baselines.run_round_robin ~opts (chase ()) in
+  Alcotest.(check int) "cycles identical" bare.Metrics.cycles obs.Metrics.cycles;
+  Alcotest.(check int) "stall identical" bare.Metrics.stall obs.Metrics.stall;
+  Alcotest.(check bool) "events recorded" true (Obs.Stream.length s > 0)
+
+let dual ?opts () =
+  let im = Address_space.create ~bytes:(1 lsl 22) in
+  let kv = Kv_server.make ~image:im ~requests:200 ~seed:1 () in
+  let sc = chase ~image:im ~lanes:4 ~hops:200 ~compute:100 () in
+  Baselines.run_dual ?opts ~primary:kv ~scavengers:sc ()
+
+let test_zero_overhead_dual () =
+  let bare = dual () in
+  let opts, s = with_obs () in
+  let obs = dual ~opts () in
+  Alcotest.(check int) "cycles identical" bare.Baselines.metrics.Metrics.cycles
+    obs.Baselines.metrics.Metrics.cycles;
+  Alcotest.(check bool) "events recorded" true (Obs.Stream.length s > 0)
+
+(* --- Registry fed by the stream --- *)
+
+let test_registry_counts () =
+  let opts, s = with_obs () in
+  let m = Baselines.run_round_robin ~opts (chase ()) in
+  let r = Obs.Stream.registry s in
+  Alcotest.(check int) "stall.cycles matches metrics" m.Metrics.stall
+    (Obs.Registry.total r "stall.cycles");
+  Alcotest.(check bool) "dispatch histogram present" true
+    (Obs.Registry.merged r "dispatch.cycles" <> None)
+
+(* --- Perfetto export: parses back, timestamps monotone per track --- *)
+
+let test_trace_json_roundtrip () =
+  let opts, s = with_obs () in
+  let (_ : Metrics.t) = Baselines.run_round_robin ~opts (chase ~lanes:4 ~hops:100 ()) in
+  let j = Json.of_string (Json.to_string (Obs.Perfetto.to_json s)) in
+  let events =
+    match Option.bind (Json.member "traceEvents" j) Json.to_list_opt with
+    | Some l -> l
+    | None -> Alcotest.fail "no traceEvents array"
+  in
+  Alcotest.(check bool) "trace non-empty" true (List.length events > 0);
+  let last_ts = Hashtbl.create 8 in
+  let spans = ref 0 in
+  List.iter
+    (fun e ->
+      match Option.bind (Json.member "ph" e) Json.to_string_opt with
+      | Some "X" ->
+          incr spans;
+          let tid = Option.get (Option.bind (Json.member "tid" e) Json.to_int_opt) in
+          let ts = Option.get (Option.bind (Json.member "ts" e) Json.to_int_opt) in
+          let dur = Option.get (Option.bind (Json.member "dur" e) Json.to_int_opt) in
+          Alcotest.(check bool) "dur positive" true (dur > 0);
+          let prev = Option.value (Hashtbl.find_opt last_ts tid) ~default:min_int in
+          Alcotest.(check bool) "ts monotone per context" true (ts >= prev);
+          Hashtbl.replace last_ts tid (ts + dur)
+      | Some "M" ->
+          Alcotest.(check (option string)) "metadata names threads" (Some "thread_name")
+            (Option.bind (Json.member "name" e) Json.to_string_opt)
+      | _ -> ())
+    events;
+  Alcotest.(check bool) "dispatch spans exported" true (!spans > 0)
+
+(* --- Attribution --- *)
+
+let test_attribution_invariants () =
+  let r = Baselines.run_pgo_attributed (chase ()) in
+  let a = r.Baselines.attribution in
+  Alcotest.(check int) "no events dropped" 0 (a.Obs.Attribution.dropped + a.Obs.Attribution.baseline_dropped);
+  Alcotest.(check bool) "sites found" true (a.Obs.Attribution.sites <> []);
+  let hidden =
+    List.fold_left (fun acc s -> acc + s.Obs.Attribution.hidden_stall) 0 a.Obs.Attribution.sites
+  in
+  (* Per-site hidden stall only covers instrumented loads, so its sum
+     can never exceed the whole-program stall delta. *)
+  Alcotest.(check bool) "covered hidden <= total hidden" true
+    (hidden <= a.Obs.Attribution.total_baseline_stall - a.Obs.Attribution.total_residual_stall);
+  List.iter
+    (fun s ->
+      Alcotest.(check int) "hidden = baseline - residual" s.Obs.Attribution.hidden_stall
+        (s.Obs.Attribution.baseline_stall - s.Obs.Attribution.residual_stall);
+      Alcotest.(check bool) "site exercised" true (s.Obs.Attribution.fires + s.Obs.Attribution.skips > 0);
+      Alcotest.(check bool) "covers something" true (s.Obs.Attribution.covered <> []))
+    a.Obs.Attribution.sites;
+  (* On the pointer chase the model and the measurement must agree the
+     instrumentation was worth it. *)
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "predicted gain positive" true (s.Obs.Attribution.predicted_gain > 0.);
+      Alcotest.(check bool) "measured gain positive" true (s.Obs.Attribution.measured_gain > 0))
+    a.Obs.Attribution.sites;
+  (* Report JSON round-trips through our own parser. *)
+  let j = Json.of_string (Json.to_string (Obs.Attribution.to_json a)) in
+  Alcotest.(check bool) "report JSON has sites" true (Json.member "sites" j <> None)
+
+(* --- Stream mechanics --- *)
+
+let test_stream_drop_accounting () =
+  let s = Obs.Stream.create ~capacity:4 () in
+  for i = 0 to 9 do
+    Obs.Stream.record s (Obs.Event.Op_retired { ctx = 0; pc = i; cycle = i })
+  done;
+  Alcotest.(check int) "buffer capped" 4 (Obs.Stream.length s);
+  Alcotest.(check int) "drops counted" 6 (Obs.Stream.dropped s);
+  (* the registry keeps counting past the cap *)
+  Alcotest.(check int) "registry uncapped" 10 (Obs.Registry.total (Obs.Stream.registry s) "ops");
+  Obs.Stream.reset s;
+  Alcotest.(check int) "reset clears" 0 (Obs.Stream.length s + Obs.Stream.dropped s)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "zero-overhead",
+        [
+          Alcotest.test_case "sequential" `Quick test_zero_overhead_sequential;
+          Alcotest.test_case "round-robin" `Quick test_zero_overhead_round_robin;
+          Alcotest.test_case "dual-mode" `Quick test_zero_overhead_dual;
+        ] );
+      ("registry", [ Alcotest.test_case "stream feeds registry" `Quick test_registry_counts ]);
+      ("perfetto", [ Alcotest.test_case "round-trip + monotone" `Quick test_trace_json_roundtrip ]);
+      ("attribution", [ Alcotest.test_case "invariants" `Quick test_attribution_invariants ]);
+      ("stream", [ Alcotest.test_case "drop accounting" `Quick test_stream_drop_accounting ]);
+    ]
