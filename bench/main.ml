@@ -911,4 +911,10 @@ let () =
       Printf.printf "   [%s finished in %.1fs]\n%!" id dt)
     selected;
   Experiment.write_json ~path:json_path;
-  Printf.printf "machine-readable results written to %s\n%!" json_path
+  (* Every instrumented binary above went through the fail-fast
+     translation validator in Pipeline.instrument — reaching this line
+     means all of them were verifier-clean (a rejection would have
+     aborted the run with Verify.Rejected). *)
+  Printf.printf
+    "all instrumented binaries translation-validated (lib/verify); results written to %s\n%!"
+    json_path

@@ -76,6 +76,31 @@ let interval_arg =
        & info [ "scavenger-interval" ] ~docv:"CYCLES"
            ~doc:"Run the scavenger pass with this target inter-yield interval.")
 
+let no_verify_arg =
+  Arg.(value & flag
+       & info [ "no-verify" ]
+           ~doc:"Skip translation validation of the instrumented binary (escape hatch).")
+
+(* Shared by [disasm --instrument] and [instrument]: build the
+   instrumented program, from a saved profile when given (the
+   offline-build half of the AutoFDO-style flow). *)
+let instrument_workload ?profile_file ?scavenger_interval ~primary ~verify w =
+  match profile_file with
+  | Some path ->
+      let ic = open_in path in
+      let len = in_channel_length ic in
+      let text = really_input_string ic len in
+      close_in ic;
+      let profile = Stallhide_pmu.Profile.load ~program:w.Workload.program text in
+      let estimates = Gain_cost.of_profile profile in
+      let pc_cycles pc = Stallhide_pmu.Profile.pc_cycles profile pc in
+      let wait_stalls pc = Stallhide_pmu.Profile.stalls_at profile pc in
+      Pipeline.instrument_with ~estimates ~pc_cycles ~wait_stalls ~primary ?scavenger_interval
+        ~verify w.Workload.program
+  | None ->
+      let profiled = Pipeline.profile w in
+      snd (Pipeline.instrument ~primary ?scavenger_interval ~verify profiled w)
+
 (* run *)
 
 let mechanisms = [ "none"; "manual"; "pgo"; "smt"; "os-threads"; "ooo" ]
@@ -86,7 +111,8 @@ let mechanism_arg =
        & info [ "m"; "mechanism" ] ~docv:"MECH" ~doc)
 
 let run_cmd =
-  let run workload mechanism lanes ops seed policy interval json trace_out attribution =
+  let run workload mechanism lanes ops seed policy interval json trace_out attribution
+      no_verify =
     check_workload workload;
     if attribution && mechanism <> "pgo" then begin
       Printf.eprintf "stallhide: --attribution needs --mechanism pgo (got %s)\n" mechanism;
@@ -118,16 +144,33 @@ let run_cmd =
       | "pgo" when attribution ->
           (* builds its own streams: the baseline replay pairs with the
              measured run *)
-          let a = Baselines.run_pgo_attributed ~primary ?scavenger_interval:interval (w false) in
+          let a =
+            Baselines.run_pgo_attributed ~primary ?scavenger_interval:interval
+              ~verify:(not no_verify) (w false)
+          in
           ( a.Baselines.pgo_metrics,
             Some a.Baselines.inst,
             Some a.Baselines.attribution,
             Some a.Baselines.stream )
       | "pgo" ->
-          let m, i = Baselines.run_pgo ~opts ~primary ?scavenger_interval:interval (w false) in
+          let m, i =
+            Baselines.run_pgo ~opts ~primary ?scavenger_interval:interval
+              ~verify:(not no_verify) (w false)
+          in
           (m, Some i, None, stream)
       | other -> invalid_arg other
     in
+    (* An uncovered loop means a yield-free cycle: the inter-yield
+       interval is unbounded, so the scavenger pass failed its one job
+       there. Surface it even in quiet runs ([lint --strict] turns it
+       into a failure). *)
+    (match inst with
+    | Some { Pipeline.scavenger = Some r; _ } when r.Scavenger_pass.uncovered_loops > 0 ->
+        Printf.eprintf
+          "stallhide: warning: scavenger left %d loop(s) without a yield (unbounded inter-yield \
+           interval)\n"
+          r.Scavenger_pass.uncovered_loops
+    | _ -> ());
     (match trace_out with
     | Some path -> write_file path (fun path -> Obs.Perfetto.write ~path (Option.get stream))
     | None -> ());
@@ -199,15 +242,19 @@ let run_cmd =
   let term =
     Term.(
       const run $ workload_arg $ mechanism_arg $ lanes_arg $ ops_arg $ seed_arg $ policy_arg
-      $ interval_arg $ json_arg $ trace_out_arg $ attribution_arg)
+      $ interval_arg $ json_arg $ trace_out_arg $ attribution_arg $ no_verify_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run a workload under a stall-hiding mechanism and print metrics.")
     term
 
 (* disasm *)
 
+let profile_file_arg =
+  Arg.(value & opt (some string) None
+       & info [ "profile" ] ~docv:"FILE" ~doc:"Instrument from a saved profile instead of re-profiling.")
+
 let disasm_cmd =
-  let disasm workload lanes ops seed instrument profile_file policy interval =
+  let disasm workload lanes ops seed instrument profile_file policy interval no_verify =
     check_workload workload;
     let w = make_workload workload ~lanes ~ops ~manual:false ~seed in
     if instrument then begin
@@ -215,23 +262,8 @@ let disasm_cmd =
         { Primary_pass.default_opts with Primary_pass.policy = policy_of_string policy }
       in
       let inst =
-        match profile_file with
-        | Some path ->
-            (* apply a previously saved profile: the offline-build half
-               of the AutoFDO-style flow *)
-            let ic = open_in path in
-            let len = in_channel_length ic in
-            let text = really_input_string ic len in
-            close_in ic;
-            let profile = Stallhide_pmu.Profile.load ~program:w.Workload.program text in
-            let estimates = Gain_cost.of_profile profile in
-            let pc_cycles pc = Stallhide_pmu.Profile.pc_cycles profile pc in
-            let wait_stalls pc = Stallhide_pmu.Profile.stalls_at profile pc in
-            Pipeline.instrument_with ~estimates ~pc_cycles ~wait_stalls ~primary
-              ?scavenger_interval:interval w.Workload.program
-        | None ->
-            let profiled = Pipeline.profile w in
-            snd (Pipeline.instrument ~primary ?scavenger_interval:interval profiled w)
+        instrument_workload ?profile_file ?scavenger_interval:interval ~primary
+          ~verify:(not no_verify) w
       in
       Format.printf "%a" Stallhide_isa.Program.pp inst.Pipeline.program
     end
@@ -240,16 +272,238 @@ let disasm_cmd =
   let instrument_arg =
     Arg.(value & flag & info [ "instrument" ] ~doc:"Show the profile-instrumented binary.")
   in
-  let profile_file_arg =
-    Arg.(value & opt (some string) None
-         & info [ "profile" ] ~docv:"FILE" ~doc:"Instrument from a saved profile instead of re-profiling.")
-  in
   let term =
     Term.(
       const disasm $ workload_arg $ lanes_arg $ ops_arg $ seed_arg $ instrument_arg
-      $ profile_file_arg $ policy_arg $ interval_arg)
+      $ profile_file_arg $ policy_arg $ interval_arg $ no_verify_arg)
   in
   Cmd.v (Cmd.info "disasm" ~doc:"Print a workload's program, optionally after instrumentation.")
+    term
+
+(* instrument *)
+
+let instrument_cmd =
+  let instrument workload lanes ops seed profile_file policy interval no_verify output =
+    check_workload workload;
+    let w = make_workload workload ~lanes ~ops ~manual:false ~seed in
+    let primary =
+      { Primary_pass.default_opts with Primary_pass.policy = policy_of_string policy }
+    in
+    let inst =
+      instrument_workload ?profile_file ?scavenger_interval:interval ~primary
+        ~verify:(not no_verify) w
+    in
+    let text = Format.asprintf "%a" Stallhide_isa.Program.pp inst.Pipeline.program in
+    (* [Program.pp] emits Asm syntax; reparse as a self-check so the
+       emitted file is guaranteed assemblable *)
+    (match Stallhide_isa.Asm.parse text with
+    | (_ : Stallhide_isa.Program.t) -> ()
+    | exception Stallhide_isa.Asm.Parse_error (line, msg) ->
+        Printf.eprintf "stallhide: internal error: emitted program does not reassemble (line %d: %s)\n"
+          line msg;
+        exit 1);
+    (match inst.Pipeline.scavenger with
+    | Some r when r.Scavenger_pass.uncovered_loops > 0 ->
+        Printf.eprintf
+          "stallhide: warning: scavenger left %d loop(s) without a yield (unbounded inter-yield \
+           interval)\n"
+          r.Scavenger_pass.uncovered_loops
+    | _ -> ());
+    match output with
+    | Some path ->
+        write_file path (fun path ->
+            let oc = open_out path in
+            output_string oc text;
+            close_out oc);
+        Printf.printf "instrumented program written to %s (%d instructions, %d yield sites)\n"
+          path
+          (Stallhide_isa.Program.length inst.Pipeline.program)
+          inst.Pipeline.primary.Primary_pass.yield_sites
+    | None -> print_string text
+  in
+  let output_arg =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE"
+             ~doc:"Write the rewritten program to $(docv) instead of stdout.")
+  in
+  let term =
+    Term.(
+      const instrument $ workload_arg $ lanes_arg $ ops_arg $ seed_arg $ profile_file_arg
+      $ policy_arg $ interval_arg $ no_verify_arg $ output_arg)
+  in
+  Cmd.v
+    (Cmd.info "instrument"
+       ~doc:
+         "Emit the instrumented (rewritten) program as assemblable text. Unlike disasm, the \
+          output is validated to round-trip through the assembler.")
+    term
+
+(* lint *)
+
+let lint_passes = [ "primary"; "scavenger"; "sfi"; "pgo" ]
+
+let lint_cmd =
+  let module V = Stallhide_verify.Verify in
+  let module D = Stallhide_verify.Diagnostic in
+  let lint workload passes lanes ops seed policy interval strict json =
+    let workloads =
+      if workload = "all" then workload_names
+      else begin
+        check_workload workload;
+        [ workload ]
+      end
+    in
+    let passes = match passes with [] -> lint_passes | ps -> ps in
+    let interval = match interval with Some i -> i | None -> 50 in
+    let primary =
+      { Primary_pass.default_opts with Primary_pass.policy = policy_of_string policy }
+    in
+    let registry = Stallhide_obs.Registry.create () in
+    (* The scavenger pass's own report of yield-free loops, as a
+       diagnostic: the interval check independently rediscovers the
+       cycle as an error, but the count must surface even when only the
+       pass noticed (e.g. verifier checks partially disabled). *)
+    let uncovered_diags n =
+      if n = 0 then []
+      else
+        [
+          D.warning D.Interval
+            (Printf.sprintf "scavenger pass reports %d loop(s) left without a yield" n);
+        ]
+    in
+    let lint_one name pass =
+      let w = make_workload name ~lanes ~ops ~manual:false ~seed in
+      let orig = w.Workload.program in
+      (* full-trace estimates: lint grades the passes, not the profiler *)
+      let estimates = lazy (Pipeline.oracle_estimates w) in
+      let outcome, extra =
+        match pass with
+        | "primary" ->
+            let prog, map, _ = Primary_pass.run primary (Lazy.force estimates) orig in
+            let config =
+              { V.default_config with V.against = Some { V.orig; orig_of_new = map } }
+            in
+            (V.run ~config ~registry prog, [])
+        | "scavenger" ->
+            let opts =
+              { Scavenger_pass.default_opts with Scavenger_pass.target_interval = interval }
+            in
+            let prog, map, rep = Scavenger_pass.run opts orig in
+            let config =
+              {
+                V.default_config with
+                V.against = Some { V.orig; orig_of_new = map };
+                target_interval = Some interval;
+              }
+            in
+            (V.run ~config ~registry prog, uncovered_diags rep.Scavenger_pass.uncovered_loops)
+        | "sfi" ->
+            let prog, map, _ = Sfi_pass.run Sfi_pass.default_opts orig in
+            let config =
+              {
+                V.default_config with
+                V.against = Some { V.orig; orig_of_new = map };
+                expect_sfi = true;
+              }
+            in
+            (V.run ~config ~registry prog, [])
+        | "pgo" ->
+            let inst =
+              Pipeline.instrument_with ~estimates:(Lazy.force estimates) ~primary
+                ~scavenger_interval:interval ~verify:false orig
+            in
+            let config =
+              {
+                V.default_config with
+                V.against = Some { V.orig; orig_of_new = inst.Pipeline.orig_of_new };
+                target_interval = Some interval;
+              }
+            in
+            let extra =
+              match inst.Pipeline.scavenger with
+              | Some r -> uncovered_diags r.Scavenger_pass.uncovered_loops
+              | None -> []
+            in
+            (V.run ~config ~registry inst.Pipeline.program, extra)
+        | other -> invalid_arg ("unknown pass " ^ other)
+      in
+      { outcome with V.diags = outcome.V.diags @ extra }
+    in
+    let results =
+      List.concat_map
+        (fun name -> List.map (fun pass -> (name, pass, lint_one name pass)) passes)
+        workloads
+    in
+    let total f = List.fold_left (fun acc (_, _, o) -> acc + f o) 0 results in
+    let total_errors = total V.errors and total_warnings = total V.warnings in
+    if json then
+      print_endline
+        (Stallhide_util.Json.to_string_pretty
+           (Stallhide_util.Json.Obj
+              [
+                ("schema_version", Stallhide_util.Json.Int 1);
+                ("strict", Stallhide_util.Json.Bool strict);
+                ( "results",
+                  Stallhide_util.Json.List
+                    (List.map
+                       (fun (wname, pass, o) ->
+                         Stallhide_util.Json.Obj
+                           [
+                             ("workload", Stallhide_util.Json.String wname);
+                             ("pass", Stallhide_util.Json.String pass);
+                             ("verify", V.outcome_to_json o);
+                           ])
+                       results) );
+                ("registry", Stallhide_obs.Registry.to_json registry);
+              ]))
+    else begin
+      List.iter
+        (fun (wname, pass, o) ->
+          if V.clean o then Printf.printf "%-14s %-10s clean\n" wname pass
+          else begin
+            Printf.printf "%-14s %-10s %d error(s), %d warning(s)\n" wname pass (V.errors o)
+              (V.warnings o);
+            List.iter (fun d -> Format.printf "  %a@." D.pp d) o.V.diags
+          end)
+        results;
+      Printf.printf "lint: %d combination(s), %d error(s), %d warning(s)%s\n"
+        (List.length results) total_errors total_warnings
+        (if strict then " [strict]" else "")
+    end;
+    if total_errors > 0 || (strict && total_warnings > 0) then exit 1
+  in
+  let lint_workload_arg =
+    let doc = "Workload to lint, or $(b,all): " ^ String.concat " | " workload_names ^ "." in
+    Arg.(value & opt string "all" & info [ "w"; "workload" ] ~docv:"NAME" ~doc)
+  in
+  let passes_arg =
+    let doc = "Pass combination to lint (repeatable; default all): "
+              ^ String.concat " | " lint_passes ^ "." in
+    Arg.(value & opt_all (enum (List.map (fun p -> (p, p)) lint_passes)) []
+         & info [ "p"; "pass" ] ~docv:"PASS" ~doc)
+  in
+  let strict_arg =
+    Arg.(value & flag & info [ "strict" ] ~doc:"Exit nonzero on warnings too, not just errors.")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit results (and the counter registry) as JSON.")
+  in
+  let lint_ops_arg =
+    Arg.(value & opt int 60 & info [ "ops" ] ~docv:"N" ~doc:"Operations per lane.")
+  in
+  let lint_lanes_arg =
+    Arg.(value & opt int 4 & info [ "lanes" ] ~docv:"N" ~doc:"Concurrent lanes (coroutines).")
+  in
+  let term =
+    Term.(
+      const lint $ lint_workload_arg $ passes_arg $ lint_lanes_arg $ lint_ops_arg $ seed_arg
+      $ policy_arg $ interval_arg $ strict_arg $ json_arg)
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Translation-validate instrumented binaries: run each workload through each pass \
+          combination and report every verifier diagnostic.")
     term
 
 (* trace *)
@@ -355,4 +609,15 @@ let profile_cmd =
 let () =
   let doc = "hide L2/L3-miss stalls in software: coroutines + profile-guided yields" in
   let info = Cmd.info "stallhide" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; disasm_cmd; profile_cmd; trace_cmd ]))
+  let group =
+    Cmd.group info
+      [ run_cmd; disasm_cmd; instrument_cmd; lint_cmd; profile_cmd; trace_cmd ]
+  in
+  (* Fail-fast contract of the pipeline: a rewrite the verifier rejects
+     never runs. Render the diagnostics instead of a backtrace. *)
+  match Cmd.eval group with
+  | code -> exit code
+  | exception Stallhide_verify.Verify.Rejected outcome ->
+      Format.eprintf "stallhide: instrumented binary rejected by the verifier@.%a"
+        Stallhide_verify.Verify.pp_outcome outcome;
+      exit 1

@@ -85,10 +85,10 @@ let run_round_robin ?label ?(opts = default_opts) w =
     ~latency:(Latency.summarize (Latency.all recorder))
     r
 
-let run_pgo ?label ?opts ?profile_config ?primary ?scavenger_interval w =
+let run_pgo ?label ?opts ?profile_config ?primary ?scavenger_interval ?verify w =
   let o = match opts with Some o -> o | None -> default_opts in
   let profiled = Pipeline.profile ?config:profile_config ~mem_cfg:o.mem_cfg w in
-  let w', inst = Pipeline.instrument ?primary ?scavenger_interval profiled w in
+  let w', inst = Pipeline.instrument ?primary ?scavenger_interval ?verify profiled w in
   let label = match label with Some l -> l | None -> w.Workload.name ^ "/pgo" in
   (run_round_robin ~label ?opts w', inst)
 
@@ -100,10 +100,10 @@ type attributed = {
 }
 
 let run_pgo_attributed ?label ?opts ?profile_config ?(primary = Stallhide_binopt.Primary_pass.default_opts)
-    ?scavenger_interval w =
+    ?scavenger_interval ?verify w =
   let o = match opts with Some o -> o | None -> default_opts in
   let profiled = Pipeline.profile ?config:profile_config ~mem_cfg:o.mem_cfg w in
-  let w', inst = Pipeline.instrument ~primary ?scavenger_interval profiled w in
+  let w', inst = Pipeline.instrument ~primary ?scavenger_interval ?verify profiled w in
   (* Baseline stall map: the uninstrumented workload run once more with
      engine telemetry attached (the hooks do not touch the clock, so
      this is exactly the run_sequential baseline). *)

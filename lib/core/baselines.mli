@@ -51,6 +51,7 @@ val run_pgo :
   ?profile_config:Pipeline.profile_config ->
   ?primary:Stallhide_binopt.Primary_pass.opts ->
   ?scavenger_interval:int ->
+  ?verify:bool ->
   Workload.t ->
   Metrics.t * Pipeline.instrumented
 
@@ -73,6 +74,7 @@ val run_pgo_attributed :
   ?profile_config:Pipeline.profile_config ->
   ?primary:Stallhide_binopt.Primary_pass.opts ->
   ?scavenger_interval:int ->
+  ?verify:bool ->
   Workload.t ->
   attributed
 

@@ -121,8 +121,23 @@ type instrumented = {
   scavenger : Scavenger_pass.report option;
 }
 
-let instrument_with ~estimates ?(pc_cycles = fun _ -> None) ?wait_stalls
-    ?(primary = Primary_pass.default_opts) ?scavenger_interval prog =
+(* Translation validation (fail-fast): every instrumented program is
+   checked against its original before anything runs it. [~verify:false]
+   is the escape hatch for deliberately testing defective rewrites. *)
+let validate_exn ?target_interval ~orig inst =
+  let module V = Stallhide_verify.Verify in
+  let config =
+    {
+      V.default_config with
+      V.against = Some { V.orig; orig_of_new = inst.orig_of_new };
+      target_interval;
+    }
+  in
+  let outcome = V.run ~config inst.program in
+  if not (V.ok outcome) then raise (V.Rejected outcome)
+
+let instrument_with_unchecked ~estimates ~pc_cycles ?wait_stalls ~primary
+    ?scavenger_interval prog =
   let prog1, map1, rep1 = Primary_pass.run ?wait_stalls primary estimates prog in
   match scavenger_interval with
   | None -> { program = prog1; orig_of_new = map1; primary = rep1; scavenger = None }
@@ -154,7 +169,16 @@ let instrument_with ~estimates ?(pc_cycles = fun _ -> None) ?wait_stalls
         scavenger = Some rep2;
       }
 
-let instrument ?primary ?scavenger_interval (p : profiled) w =
+let instrument_with ~estimates ?(pc_cycles = fun _ -> None) ?wait_stalls
+    ?(primary = Primary_pass.default_opts) ?scavenger_interval ?(verify = true) prog =
+  let inst =
+    instrument_with_unchecked ~estimates ~pc_cycles ?wait_stalls ~primary
+      ?scavenger_interval prog
+  in
+  if verify then validate_exn ?target_interval:scavenger_interval ~orig:prog inst;
+  inst
+
+let instrument ?primary ?scavenger_interval ?verify (p : profiled) w =
   let estimates = Gain_cost.of_profile p.profile in
   let pc_cycles pc = Profile.pc_cycles p.profile pc in
   (* Instrument a wait only when the *majority* of its sampled stalls
@@ -168,6 +192,6 @@ let instrument ?primary ?scavenger_interval (p : profiled) w =
   in
   let inst =
     instrument_with ~estimates ~pc_cycles ~wait_stalls ?primary ?scavenger_interval
-      w.Workload.program
+      ?verify w.Workload.program
   in
   (Workload.with_program w inst.program, inst)

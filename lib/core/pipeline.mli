@@ -70,22 +70,31 @@ type instrumented = {
 
 (** Instrument a program from estimators. [pc_cycles] (original
     coordinates) feeds the scavenger pass; [scavenger_interval = None]
-    skips the scavenger phase. *)
+    skips the scavenger phase.
+
+    Every result is translation-validated against the input with
+    {!Stallhide_verify.Verify} before being returned (fail-fast:
+    raises {!Stallhide_verify.Verify.Rejected} on any error-severity
+    finding). [~verify:false] is the escape hatch for deliberately
+    exercising defective rewrites. *)
 val instrument_with :
   estimates:Gain_cost.estimates ->
   ?pc_cycles:(int -> float option) ->
   ?wait_stalls:(int -> int) ->
   ?primary:Primary_pass.opts ->
   ?scavenger_interval:int ->
+  ?verify:bool ->
   Program.t ->
   instrumented
 
 (** [instrument profiled workload] = profile-guided instrumentation of
     the workload's program; returns the workload rebound to the new
-    program. *)
+    program. Translation-validated like {!instrument_with} unless
+    [~verify:false]. *)
 val instrument :
   ?primary:Primary_pass.opts ->
   ?scavenger_interval:int ->
+  ?verify:bool ->
   profiled ->
   Workload.t ->
   Workload.t * instrumented

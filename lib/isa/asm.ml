@@ -113,14 +113,47 @@ let parse_line line s acc =
             | None -> fail line "unknown instruction %S" op)
         | _ -> fail line "cannot parse %S" s)
 
-let parse_items src =
+(* Items paired with the 1-based source line they came from, so label
+   defects can be reported positionally. *)
+let parse_items_annotated src =
   let lines = String.split_on_char '\n' src in
   let _, rev_items =
-    List.fold_left (fun (n, acc) l -> (n + 1, parse_line n l acc)) (1, []) lines
+    List.fold_left
+      (fun (n, acc) l ->
+        let items = List.rev (parse_line n l []) in
+        (n + 1, List.rev_append (List.map (fun item -> (n, item)) items) acc))
+      (1, []) lines
   in
   List.rev rev_items
 
+let parse_items src = List.map snd (parse_items_annotated src)
+
+(* [Program.assemble] reports duplicate/undefined labels without
+   positions; re-derive them here first so [Parse_error] carries the
+   offending line. *)
+let check_labels annotated =
+  let defined = Hashtbl.create 16 in
+  List.iter
+    (fun (line, item) ->
+      match item with
+      | Program.Label l ->
+          if Hashtbl.mem defined l then fail line "duplicate label %S" l;
+          Hashtbl.add defined l ()
+      | Program.Ins _ -> ())
+    annotated;
+  List.iter
+    (fun (line, item) ->
+      match item with
+      | Program.Ins i -> (
+          match Instr.target i with
+          | Some l when not (Hashtbl.mem defined l) -> fail line "undefined label %S" l
+          | Some _ | None -> ())
+      | Program.Label _ -> ())
+    annotated
+
 let parse src =
-  match Program.assemble (parse_items src) with
+  let annotated = parse_items_annotated src in
+  check_labels annotated;
+  match Program.assemble (List.map snd annotated) with
   | p -> p
   | exception Program.Error msg -> raise (Parse_error (0, msg))

@@ -22,7 +22,9 @@
     disassembler ([parse] and [Program.pp] round-trip). *)
 
 exception Parse_error of int * string
-(** Line number (1-based) and message. *)
+(** Line number (1-based) and message. Syntax errors and label defects
+    (duplicate label, branch to an undefined label) carry the line of
+    the offending statement; residual assembly errors use line 0. *)
 
 val parse : string -> Program.t
 

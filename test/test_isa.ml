@@ -178,6 +178,22 @@ let test_asm_errors () =
   bad "br zz r1, 0, l\nl: halt";
   bad "mov r99, 1"
 
+(* Label defects must carry the line of the offending statement, not
+   line 0 (the pre-Program.assemble check in Asm). *)
+let test_asm_error_lines () =
+  let line_of s =
+    match Asm.parse s with
+    | exception Asm.Parse_error (line, _) -> line
+    | _ -> Alcotest.fail ("accepted: " ^ s)
+  in
+  Alcotest.(check int) "syntax error line" 2 (line_of "nop\nbogus r1\nhalt");
+  Alcotest.(check int) "duplicate label line" 3
+    (line_of "a:\n  nop\na:\n  halt");
+  Alcotest.(check int) "undefined label line" 2
+    (line_of "nop\njmp nowhere\nhalt");
+  Alcotest.(check int) "undefined branch target line" 3
+    (line_of "a:\n  nop\n  br eq r1, 0, missing\n  halt")
+
 (* random instruction printing/parsing agreement *)
 let gen_instr =
   let open QCheck.Gen in
@@ -243,6 +259,7 @@ let () =
           Alcotest.test_case "parse" `Quick test_asm_parse;
           Alcotest.test_case "roundtrip" `Quick test_asm_roundtrip;
           Alcotest.test_case "errors" `Quick test_asm_errors;
+          Alcotest.test_case "error line numbers" `Quick test_asm_error_lines;
           QCheck_alcotest.to_alcotest qcheck_print_parse;
         ] );
     ]
