@@ -859,6 +859,47 @@ let c17 () =
     rows
 
 (* ------------------------------------------------------------------ *)
+(* C18 — fault injection: runtime self-defense (lib/faults).           *)
+(* ------------------------------------------------------------------ *)
+
+let c18 () =
+  let module F = Stallhide_faults.Faults in
+  let module H = Stallhide_faults.Harness in
+  let rows =
+    List.concat_map
+      (fun spec ->
+        let fault = F.parse_spec spec in
+        List.concat_map
+          (fun workload -> H.run ~workload fault)
+          [ "pointer-chase"; "hash-probe" ])
+      F.fault_names
+  in
+  Experiment.table ~title:"C18: fault injection — undefended vs runtime self-defense (lib/faults)"
+    ~note:
+      "each fault at default knobs, seed 42. defended = scheduler watchdog (rogue), \
+       attribution-driven de-instrumentation (drift/pebs) or overload protection calibrated \
+       off the fault-free p99 (spike). negative hidden cycles = stale yields cost more than \
+       they hide"
+    ~header:[ "fault"; "workload"; "arm"; "cycles"; "hidden cyc"; "p99"; "p999"; "defense" ]
+    (List.map
+       (fun (r : H.row) ->
+         let fired = List.filter (fun (_, v) -> v > 0) r.H.counters in
+         [
+           r.H.scenario;
+           r.H.workload;
+           r.H.arm;
+           fi r.H.cycles;
+           fi r.H.hidden_cycles;
+           fi r.H.latency.Latency.p99;
+           fi r.H.latency.Latency.p999;
+           (if fired = [] then "-"
+            else
+              String.concat " "
+                (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) fired));
+         ])
+       rows)
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -879,6 +920,7 @@ let experiments =
     ("C15", c15);
     ("C16", c16);
     ("C17", c17);
+    ("C18", c18);
   ]
 
 let () =

@@ -606,12 +606,110 @@ let profile_cmd =
        ~doc:"Run sample-based profiling, print the per-load estimates, optionally save them.")
     term
 
+(* inject *)
+
+let inject_cmd =
+  let module F = Stallhide_faults.Faults in
+  let module H = Stallhide_faults.Harness in
+  let inject specs workload lanes ops seed json output =
+    let workloads =
+      if workload = "all" then H.workload_names
+      else begin
+        if not (List.mem workload H.workload_names) then begin
+          Printf.eprintf "stallhide: inject supports workloads %s (or all), got %S\n"
+            (String.concat ", " H.workload_names) workload;
+          exit 2
+        end;
+        [ workload ]
+      end
+    in
+    let specs = if specs = [] then F.fault_names else specs in
+    let plan =
+      try F.of_specs ~seed specs
+      with Invalid_argument msg ->
+        Printf.eprintf "stallhide: %s\n" msg;
+        exit 2
+    in
+    let opts = { H.default_opts with H.lanes; ops; seed } in
+    let rows = H.run_plan ~opts ~workloads plan in
+    let doc =
+      Stallhide_util.Json.Obj
+        [
+          ("schema_version", Stallhide_util.Json.Int 1);
+          ("seed", Stallhide_util.Json.Int seed);
+          ("rows", H.rows_to_json rows);
+        ]
+    in
+    if json then print_endline (Stallhide_util.Json.to_string_pretty doc)
+    else begin
+      Printf.printf "%-6s %-13s %-10s %10s %9s %7s %7s %7s  %s\n" "fault" "workload" "arm"
+        "cycles" "hidden" "p50" "p99" "p999" "defense counters";
+      List.iter
+        (fun (r : H.row) ->
+          let fired = List.filter (fun (_, v) -> v > 0) r.H.counters in
+          Printf.printf "%-6s %-13s %-10s %10d %9d %7d %7d %7d  %s\n" r.H.scenario r.H.workload
+            r.H.arm r.H.cycles r.H.hidden_cycles
+            r.H.latency.Stallhide_runtime.Latency.p50 r.H.latency.Stallhide_runtime.Latency.p99
+            r.H.latency.Stallhide_runtime.Latency.p999
+            (if fired = [] then "-"
+             else
+               String.concat " "
+                 (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) fired)))
+        rows
+    end;
+    match output with
+    | None -> ()
+    | Some path ->
+        write_file path (fun path -> Stallhide_util.Json.write ~path doc);
+        if not json then Printf.printf "rows written to %s\n" path
+  in
+  let inject_arg =
+    let doc =
+      "Fault spec (repeatable): drift[:shrink=N] | pebs[:loss=F,skid=N,misattr=F] | \
+       spike[:at=N,for=N,l3=N,dram=N] | rogue[:count=N,compute=N]. Default: all four with \
+       default knobs."
+    in
+    Arg.(value & opt_all string [] & info [ "i"; "inject" ] ~docv:"SPEC" ~doc)
+  in
+  let inject_workload_arg =
+    let doc =
+      "Workload: " ^ String.concat " | " Stallhide_faults.Harness.workload_names
+      ^ " | all (the full matrix)."
+    in
+    Arg.(value & opt string "pointer-chase" & info [ "w"; "workload" ] ~docv:"NAME" ~doc)
+  in
+  let inject_lanes_arg =
+    Arg.(value & opt int 8 & info [ "lanes" ] ~docv:"N" ~doc:"Concurrent lanes (coroutines).")
+  in
+  let inject_ops_arg =
+    Arg.(value & opt int 1000 & info [ "ops" ] ~docv:"N" ~doc:"Operations per lane.")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the full row matrix as JSON on stdout.")
+  in
+  let output_arg =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Also write the JSON rows to $(docv).")
+  in
+  let term =
+    Term.(
+      const inject $ inject_arg $ inject_workload_arg $ inject_lanes_arg $ inject_ops_arg
+      $ seed_arg $ json_arg $ output_arg)
+  in
+  Cmd.v
+    (Cmd.info "inject"
+       ~doc:
+         "Run the fault-injection matrix: each fault on each workload, fault-free vs \
+          undefended vs defended, reporting hidden cycles, latency tails and defense \
+          counters.")
+    term
+
 let () =
   let doc = "hide L2/L3-miss stalls in software: coroutines + profile-guided yields" in
   let info = Cmd.info "stallhide" ~version:"1.0.0" ~doc in
   let group =
     Cmd.group info
-      [ run_cmd; disasm_cmd; instrument_cmd; lint_cmd; profile_cmd; trace_cmd ]
+      [ run_cmd; disasm_cmd; instrument_cmd; lint_cmd; profile_cmd; trace_cmd; inject_cmd ]
   in
   (* Fail-fast contract of the pipeline: a rewrite the verifier rejects
      never runs. Render the diagnostics instead of a backtrace. *)

@@ -10,6 +10,8 @@ type opts = {
   engine : Engine.config;
   max_cycles : int;
   obs : Stallhide_obs.Stream.t option;
+  prepare_hier : Hierarchy.t -> unit;
+  watchdog : Dual_mode.watchdog option;
 }
 
 let default_opts =
@@ -19,7 +21,14 @@ let default_opts =
     engine = Engine.default_config;
     max_cycles = max_int;
     obs = None;
+    prepare_hier = ignore;
+    watchdog = None;
   }
+
+let make_hier opts =
+  let hier = Hierarchy.create opts.mem_cfg in
+  opts.prepare_hier hier;
+  hier
 
 (* Counters + latency recorder (+ telemetry when requested) composed
    onto the caller's hooks. *)
@@ -35,7 +44,7 @@ let instrumented_engine opts =
 
 let run_sequential ?label ?(opts = default_opts) w =
   let counters, recorder, engine = instrumented_engine opts in
-  let hier = Hierarchy.create opts.mem_cfg in
+  let hier = make_hier opts in
   let ctxs = Workload.contexts w in
   let r =
     Scheduler.run_sequential ~engine ~max_cycles:opts.max_cycles ?obs:opts.obs hier
@@ -58,7 +67,7 @@ let run_smt ?label ?(opts = default_opts) w =
       ([ opts.engine.Engine.hooks; Counters.hooks counters ]
       @ match opts.obs with Some s -> [ Stallhide_obs.Stream.hooks s ] | None -> [])
   in
-  let hier = Hierarchy.create opts.mem_cfg in
+  let hier = make_hier opts in
   let ctxs = Workload.contexts w in
   let r =
     Smt.run
@@ -74,7 +83,7 @@ let run_smt ?label ?(opts = default_opts) w =
 
 let run_round_robin ?label ?(opts = default_opts) w =
   let counters, recorder, engine = instrumented_engine opts in
-  let hier = Hierarchy.create opts.mem_cfg in
+  let hier = make_hier opts in
   let ctxs = Workload.contexts w in
   let r =
     Scheduler.run_round_robin ~engine ~max_cycles:opts.max_cycles ?obs:opts.obs
@@ -138,13 +147,16 @@ type dual_result = {
   primary_latency : Latency.summary option;
   primary_done_at : int;
   scavenger_switches : int;
+  watchdog_strikes : int;
+  watchdog_demotions : int;
+  watchdog_quarantined : int;
 }
 
 let run_dual ?label ?(opts = default_opts) ~primary ~scavengers () =
   if primary.Workload.image != scavengers.Workload.image then
     invalid_arg "Baselines.run_dual: primary and scavengers must share one memory image";
   let counters, recorder, engine = instrumented_engine opts in
-  let hier = Hierarchy.create opts.mem_cfg in
+  let hier = make_hier opts in
   let p_ctx = Workload.context primary ~lane:0 ~id:0 ~mode:Context.Primary in
   let s_ctxs =
     Array.init (Workload.lane_count scavengers) (fun lane ->
@@ -152,7 +164,7 @@ let run_dual ?label ?(opts = default_opts) ~primary ~scavengers () =
   in
   let r =
     Dual_mode.run
-      ~config:{ Dual_mode.engine; switch = opts.switch; drain = true }
+      ~config:{ Dual_mode.engine; switch = opts.switch; drain = true; watchdog = opts.watchdog }
       ~max_cycles:opts.max_cycles ?obs:opts.obs hier primary.Workload.image ~primary:p_ctx
       ~scavengers:s_ctxs
   in
@@ -169,4 +181,7 @@ let run_dual ?label ?(opts = default_opts) ~primary ~scavengers () =
     primary_latency = Latency.summarize (Latency.of_ctx recorder 0);
     primary_done_at = r.Dual_mode.primary_done_at;
     scavenger_switches = r.Dual_mode.scavenger_switches;
+    watchdog_strikes = r.Dual_mode.watchdog_strikes;
+    watchdog_demotions = r.Dual_mode.watchdog_demotions;
+    watchdog_quarantined = r.Dual_mode.watchdog_quarantined;
   }

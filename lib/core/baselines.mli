@@ -31,6 +31,12 @@ type opts = {
       (** telemetry stream; when set, the engine hooks and the
           scheduler feed it (cycle counts are unaffected — hooks never
           touch the clock) *)
+  prepare_hier : Hierarchy.t -> unit;
+      (** called on every freshly built hierarchy before the run —
+          the fault-injection hook (arm a latency spike here); default
+          [ignore] *)
+  watchdog : Dual_mode.watchdog option;
+      (** scheduler watchdog for {!run_dual}; [None] (default) disables *)
 }
 
 val default_opts : opts
@@ -83,6 +89,9 @@ type dual_result = {
   primary_latency : Latency.summary option;  (** per-request latency of the primary *)
   primary_done_at : int;
   scavenger_switches : int;
+  watchdog_strikes : int;  (** see {!Dual_mode.result} *)
+  watchdog_demotions : int;
+  watchdog_quarantined : int;
 }
 
 (** [run_dual ~primary ~scavengers] runs lane 0 of [primary] in primary

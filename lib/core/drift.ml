@@ -1,0 +1,93 @@
+open Stallhide_isa
+
+type config = { min_fires : int; loss_threshold : int; stale_fraction : float }
+
+let default_config = { min_fires = 4; loss_threshold = 0; stale_fraction = 0.25 }
+
+type verdict = {
+  losing : Stallhide_obs.Attribution.site list;
+  judged : int;
+  lost_cycles : int;
+  stale : bool;
+}
+
+let losing_pcs v = List.map (fun s -> s.Stallhide_obs.Attribution.yield_pc) v.losing
+
+let assess ?(config = default_config) ?obs (report : Stallhide_obs.Attribution.report) =
+  let judged =
+    List.filter
+      (fun s -> s.Stallhide_obs.Attribution.fires >= config.min_fires)
+      report.Stallhide_obs.Attribution.sites
+  in
+  let losing =
+    List.filter
+      (fun s -> s.Stallhide_obs.Attribution.measured_gain < -config.loss_threshold)
+      judged
+  in
+  let lost_cycles =
+    List.fold_left (fun acc s -> acc - s.Stallhide_obs.Attribution.measured_gain) 0 losing
+  in
+  let n_judged = List.length judged in
+  let n_losing = List.length losing in
+  let stale =
+    n_judged > 0
+    && float_of_int n_losing /. float_of_int n_judged >= config.stale_fraction
+  in
+  (match obs with
+  | Some s ->
+      let r = Stallhide_obs.Stream.registry s in
+      if n_losing > 0 then
+        Stallhide_obs.Registry.incr ~by:n_losing
+          (Stallhide_obs.Registry.counter r ~ctx:(-1) "drift.losing_sites");
+      if stale then
+        Stallhide_obs.Registry.incr (Stallhide_obs.Registry.counter r ~ctx:(-1) "drift.stale")
+  | None -> ());
+  { losing; judged = n_judged; lost_cycles; stale }
+
+(* Nop out the yields at [pcs]. One-for-one replacement keeps every pc
+   stable, so the original-pc map and the liveness annotations of the
+   surviving sites stay valid; we copy the annotations over since
+   reassembly resets them. The paired prefetch is left in place — a
+   prefetch of an already-resident line is nearly free, while the
+   unconditional switch behind it is the cost being recovered. *)
+let deinstrument ?obs program ~pcs =
+  let doomed = Hashtbl.create 16 in
+  List.iter (fun pc -> Hashtbl.replace doomed pc ()) pcs;
+  let removed = ref 0 in
+  let pc = ref 0 in
+  let items =
+    List.map
+      (fun item ->
+        match item with
+        | Program.Label _ -> item
+        | Program.Ins ins ->
+            let here = !pc in
+            incr pc;
+            if Hashtbl.mem doomed here then (
+              match ins with
+              | Instr.Yield _ | Instr.Yield_cond _ ->
+                  incr removed;
+                  Program.Ins Instr.Nop
+              | _ -> item)
+            else item)
+      (Program.to_items program)
+  in
+  let program' = Program.assemble items in
+  for i = 0 to Program.length program - 1 do
+    (Program.annot program' i).Program.live_regs <- (Program.annot program i).Program.live_regs
+  done;
+  (match obs with
+  | Some s when !removed > 0 ->
+      Stallhide_obs.Registry.incr ~by:!removed
+        (Stallhide_obs.Registry.counter
+           (Stallhide_obs.Stream.registry s)
+           ~ctx:(-1) "drift.deinstrumented")
+  | _ -> ());
+  program'
+
+let adapt ?config ?obs report program =
+  let v = assess ?config ?obs report in
+  let program' =
+    match v.losing with [] -> program | _ -> deinstrument ?obs program ~pcs:(losing_pcs v)
+  in
+  (program', v)

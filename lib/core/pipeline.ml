@@ -13,6 +13,7 @@ type profile_config = {
   frontend_period : int option;
   lbr_snapshot_period : int;
   buffer_capacity : int;
+  degradation : Pebs.degradation_spec option;
 }
 
 let default_profile_config =
@@ -23,6 +24,7 @@ let default_profile_config =
     frontend_period = Some 127;
     lbr_snapshot_period = 211;
     buffer_capacity = 1 lsl 20;
+    degradation = None;
   }
 
 type profiled = {
@@ -54,6 +56,13 @@ let profile ?(config = default_profile_config) ?(mem_cfg = Memconfig.default) w 
              ~period ())
     | None -> None
   in
+  (match config.degradation with
+  | Some spec ->
+      Pebs.degrade exec spec;
+      Pebs.degrade miss spec;
+      Pebs.degrade stall spec;
+      Option.iter (fun f -> Pebs.degrade f spec) frontend
+  | None -> ());
   let lbr = Lbr.create ~snapshot_period:config.lbr_snapshot_period () in
   let hooks =
     Events.compose

@@ -23,6 +23,9 @@ type profile_config = {
           (§3.2's cause-filtering, off) *)
   lbr_snapshot_period : int;  (** retired instructions between LBR reads *)
   buffer_capacity : int;  (** per-unit sample buffer entries *)
+  degradation : Pebs.degradation_spec option;
+      (** fault injection: degrade every PEBS unit of the profiling run
+          (sample loss / skid / misattribution); [None] = clean *)
 }
 
 (** Prime periods (31/17/127/211) so sampling does not alias with loop

@@ -1,0 +1,361 @@
+open Stallhide_cpu
+open Stallhide_mem
+open Stallhide_runtime
+open Stallhide_sched
+open Stallhide_workloads
+open Stallhide
+module Obs = Stallhide_obs
+module Json = Stallhide_util.Json
+
+type opts = {
+  lanes : int;
+  ops : int;
+  seed : int;
+  tasks : int;
+  task_ops : int;
+  interarrival : int;
+  latency_every : int;
+}
+
+let default_opts =
+  { lanes = 8; ops = 1000; seed = 42; tasks = 40; task_ops = 6; interarrival = 600; latency_every = 4 }
+
+let workload_names = [ "pointer-chase"; "hash-probe"; "btree"; "kv-server" ]
+
+(* [ws_scale] shrinks the working set (the drift injector's knob): the
+   generated *program* is identical for any scale — only the image
+   contents and register inits change — which is what makes a profile
+   from one scale transplantable onto another. *)
+let make ~workload ~lanes ~ops ~manual ~seed ~ws_scale () =
+  let scale n = max 16 (n / ws_scale) in
+  match workload with
+  | "pointer-chase" ->
+      Pointer_chase.make ~manual ~lanes ~nodes_per_lane:(scale 2048) ~hops:ops ~seed ()
+  | "hash-probe" -> Hash_probe.make ~manual ~lanes ~table_slots:(scale 16384) ~ops ~seed ()
+  | "btree" -> Btree.make ~manual ~lanes ~keys:(scale 16384) ~ops ~seed ()
+  | "kv-server" ->
+      Kv_server.make ~manual ~lanes ~table_slots:(scale 16384) ~requests:ops ~seed ()
+  | other -> invalid_arg ("Harness.make: unknown workload " ^ other)
+
+type row = {
+  scenario : string;
+  workload : string;
+  arm : string;
+  fault : Faults.fault option;
+  cycles : int;
+  completed : int;
+  hidden_cycles : int;
+  latency : Latency.summary;
+  counters : (string * int) list;
+}
+
+let row_to_json r =
+  Json.Obj
+    [
+      ("scenario", Json.String r.scenario);
+      ("workload", Json.String r.workload);
+      ("arm", Json.String r.arm);
+      ("fault", (match r.fault with Some f -> Faults.to_json f | None -> Json.Null));
+      ("cycles", Json.Int r.cycles);
+      ("completed", Json.Int r.completed);
+      ("hidden_cycles", Json.Int r.hidden_cycles);
+      ("latency", Metrics.latency_to_json r.latency);
+      ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) r.counters));
+    ]
+
+let rows_to_json rows = Json.List (List.map row_to_json rows)
+
+let totals stream keys =
+  let r = Obs.Stream.registry stream in
+  List.map (fun k -> (k, Obs.Registry.total r k)) keys
+
+let metrics_latency (m : Metrics.t) =
+  match m.Metrics.latency with Some s -> s | None -> Latency.empty_summary
+
+let drift_keys = [ "drift.losing_sites"; "drift.deinstrumented"; "drift.stale" ]
+
+let sub ~seed salt = Faults.sub_seed (Faults.no_faults ~seed) ~salt
+
+(* --- drift: stale profile vs graceful de-instrumentation --- *)
+
+let run_drift ~opts ~workload ~shrink fault =
+  let { lanes; ops; seed; _ } = opts in
+  (* profile + instrument on the full working set (the "training" run) *)
+  let train = make ~workload ~lanes ~ops ~manual:false ~seed ~ws_scale:1 () in
+  let profiled = Pipeline.profile train in
+  let _, inst = Pipeline.instrument profiled train in
+  (* deployment: the same binary against a [shrink]x smaller working
+     set — the profiled miss sites now mostly hit *)
+  let drifted () = make ~workload ~lanes ~ops ~manual:false ~seed ~ws_scale:shrink () in
+  let baseline = Obs.Stream.create () in
+  let base_m =
+    Baselines.run_sequential ~label:(workload ^ "/drifted-seq")
+      ~opts:{ Baselines.default_opts with Baselines.obs = Some baseline }
+      (drifted ())
+  in
+  let s0 = base_m.Metrics.stall in
+  let fresh_m, _ = Baselines.run_pgo ~label:(workload ^ "/fresh") (drifted ()) in
+  let stale_stream = Obs.Stream.create () in
+  let stale_m =
+    Baselines.run_round_robin ~label:(workload ^ "/stale")
+      ~opts:{ Baselines.default_opts with Baselines.obs = Some stale_stream }
+      (Workload.with_program (drifted ()) inst.Pipeline.program)
+  in
+  (* the defense: attribute measured vs predicted gain per yield site,
+     nop out the losers, run the de-instrumented binary *)
+  let attribution =
+    Obs.Attribution.build ~program:inst.Pipeline.program
+      ~orig_of_new:inst.Pipeline.orig_of_new
+      ~selected:inst.Pipeline.primary.Stallhide_binopt.Primary_pass.selected
+      ~machine:
+        Stallhide_binopt.Primary_pass.default_opts.Stallhide_binopt.Primary_pass.machine
+      ~estimates:(Stallhide_binopt.Gain_cost.of_profile profiled.Pipeline.profile)
+      ~baseline stale_stream
+  in
+  let adapted_stream = Obs.Stream.create () in
+  let prog', verdict = Drift.adapt ~obs:adapted_stream attribution inst.Pipeline.program in
+  let adapted_m =
+    Baselines.run_round_robin ~label:(workload ^ "/adapted")
+      ~opts:{ Baselines.default_opts with Baselines.obs = Some adapted_stream }
+      (Workload.with_program (drifted ()) prog')
+  in
+  let mk arm (m : Metrics.t) fault counters =
+    {
+      scenario = Faults.name (Faults.Drift { shrink });
+      workload;
+      arm;
+      fault;
+      cycles = m.Metrics.cycles;
+      completed = m.Metrics.ops;
+      hidden_cycles = s0 - m.Metrics.stall;
+      latency = metrics_latency m;
+      counters;
+    }
+  in
+  [
+    mk "fault-free" fresh_m None [];
+    mk "undefended" stale_m (Some fault) [];
+    mk "defended" adapted_m (Some fault)
+      (totals adapted_stream drift_keys
+      @ [ ("drift.judged", verdict.Drift.judged); ("drift.lost_cycles", verdict.Drift.lost_cycles) ]);
+  ]
+
+(* --- pebs: degraded samples vs attribution-driven repair --- *)
+
+let run_degraded ~opts ~workload fault =
+  let { lanes; ops; seed; _ } = opts in
+  let w () = make ~workload ~lanes ~ops ~manual:false ~seed ~ws_scale:1 () in
+  let s0 = (Baselines.run_sequential ~label:(workload ^ "/seq") (w ())).Metrics.stall in
+  let clean_m, _ = Baselines.run_pgo ~label:(workload ^ "/pgo") (w ()) in
+  let degraded_config =
+    {
+      Pipeline.default_profile_config with
+      Pipeline.degradation = Faults.degradation_spec ~seed:(sub ~seed 1) fault;
+    }
+  in
+  (* undefended: instrument straight from the lying profile *)
+  let a =
+    Baselines.run_pgo_attributed ~label:(workload ^ "/pgo-degraded")
+      ~profile_config:degraded_config (w ())
+  in
+  (* defended: the drift detector does not care *why* a site loses —
+     misattributed samples and stale profiles look identical from the
+     measured-gain side *)
+  let obs = Obs.Stream.create () in
+  let prog', verdict =
+    Drift.adapt ~obs a.Baselines.attribution a.Baselines.inst.Pipeline.program
+  in
+  let adapted_m =
+    Baselines.run_round_robin ~label:(workload ^ "/pgo-repaired")
+      ~opts:{ Baselines.default_opts with Baselines.obs = Some obs }
+      (Workload.with_program (w ()) prog')
+  in
+  let mk arm (m : Metrics.t) fault counters =
+    {
+      scenario = "pebs";
+      workload;
+      arm;
+      fault;
+      cycles = m.Metrics.cycles;
+      completed = m.Metrics.ops;
+      hidden_cycles = s0 - m.Metrics.stall;
+      latency = metrics_latency m;
+      counters;
+    }
+  in
+  [
+    mk "fault-free" clean_m None [];
+    mk "undefended" a.Baselines.pgo_metrics (Some fault) [];
+    mk "defended" adapted_m (Some fault)
+      (totals obs drift_keys @ [ ("drift.judged", verdict.Drift.judged) ]);
+  ]
+
+(* --- rogue: budget-blowing scavenger vs the watchdog --- *)
+
+let run_rogue ~opts ~workload ~count ~compute fault =
+  let lanes = max opts.lanes 2 in
+  let { ops; seed; _ } = opts in
+  let arm ~rogue ~watchdog =
+    let w = make ~workload ~lanes ~ops ~manual:true ~seed ~ws_scale:1 () in
+    let recorder = Latency.recorder () in
+    let stream = Obs.Stream.create () in
+    let engine =
+      {
+        Engine.default_config with
+        Engine.hooks = Events.compose [ Latency.hooks recorder; Obs.Stream.hooks stream ];
+      }
+    in
+    let primary = Workload.context w ~lane:0 ~id:0 ~mode:Context.Primary in
+    let legit =
+      Array.init (lanes - 1) (fun i ->
+          Workload.context w ~lane:(i + 1) ~id:(i + 1) ~mode:Context.Scavenger)
+    in
+    let rogues =
+      if rogue then
+        Array.init count (fun i ->
+            Context.create ~id:(lanes + i) ~mode:Context.Scavenger
+              (Faults.rogue_program ~compute ()))
+      else [||]
+    in
+    let r =
+      Dual_mode.run
+        ~config:
+          { Dual_mode.engine; switch = Switch_cost.coroutine; drain = false; watchdog }
+        ~obs:stream
+        (Hierarchy.create Memconfig.default)
+        w.Workload.image ~primary ~scavengers:(Array.append legit rogues)
+    in
+    let latency = Latency.summary (Latency.of_ctx recorder 0) in
+    (r, latency, primary)
+  in
+  (* the hidden-cycles reference: the stall the primary pays alone *)
+  let alone_stall =
+    let w = make ~workload ~lanes ~ops ~manual:true ~seed ~ws_scale:1 () in
+    let ctx = Workload.context w ~lane:0 ~id:0 ~mode:Context.Primary in
+    let (_ : Scheduler.result) =
+      Scheduler.run_sequential (Hierarchy.create Memconfig.default) w.Workload.image [| ctx |]
+    in
+    ctx.Context.stall_cycles
+  in
+  let mk arm (r, latency, (p : Context.t)) fault =
+    {
+      scenario = "rogue";
+      workload;
+      arm;
+      fault;
+      cycles = r.Dual_mode.sched.Scheduler.cycles;
+      completed = r.Dual_mode.sched.Scheduler.completed;
+      hidden_cycles = alone_stall - p.Context.stall_cycles;
+      latency;
+      counters =
+        [
+          ("watchdog.strikes", r.Dual_mode.watchdog_strikes);
+          ("watchdog.demotions", r.Dual_mode.watchdog_demotions);
+          ("watchdog.quarantines", r.Dual_mode.watchdog_quarantined);
+          ("scavenger.switches", r.Dual_mode.scavenger_switches);
+        ];
+    }
+  in
+  [
+    mk "fault-free" (arm ~rogue:false ~watchdog:None) None;
+    mk "undefended" (arm ~rogue:true ~watchdog:None) (Some fault);
+    mk "defended"
+      (arm ~rogue:true ~watchdog:(Some Dual_mode.default_watchdog))
+      (Some fault);
+  ]
+
+(* --- spike: latency storm vs overload protection --- *)
+
+let run_spike ~opts ~workload fault =
+  let { tasks; task_ops; interarrival; latency_every; seed; _ } = opts in
+  let build () =
+    let w = make ~workload ~lanes:tasks ~ops:task_ops ~manual:true ~seed ~ws_scale:1 () in
+    let ts =
+      List.init tasks (fun i ->
+          let ctx = Workload.context w ~lane:i ~id:i ~mode:Context.Primary in
+          let class_ =
+            if latency_every > 0 && i mod latency_every = 0 then Task.Latency else Task.Batch
+          in
+          Task.create ~id:i ~class_ ~arrival:(i * interarrival) ctx)
+    in
+    (w, ts)
+  in
+  let arm ~spiked ~protection =
+    let w, ts = build () in
+    let hier = Hierarchy.create Memconfig.default in
+    if spiked then Faults.prepare_hier fault hier;
+    let stream = Obs.Stream.create () in
+    let config =
+      { Server.default_config with Server.policy = Server.Side_integration; protection }
+    in
+    (Server.run ~config ~obs:stream hier w.Workload.image ts, stream)
+  in
+  (* event-agnostic baseline (every stall exposed), per spike setting:
+     the reference that defines hidden cycles *)
+  let rtc_stall ~spiked =
+    let w, ts = build () in
+    let hier = Hierarchy.create Memconfig.default in
+    if spiked then Faults.prepare_hier fault hier;
+    (Server.run
+       ~config:{ Server.default_config with Server.policy = Server.Run_to_completion }
+       hier w.Workload.image ts)
+      .Server.stall
+  in
+  let ff, _ = arm ~spiked:false ~protection:None in
+  let ff_lat = Latency.summary ff.Server.latency_sojourns in
+  (* protection calibrated from the fault-free tail: a request queued
+     past the healthy p99 is written off and retried after backoff *)
+  let protection =
+    {
+      Server.deadline = max 512 ff_lat.Latency.p99;
+      max_retries = 2;
+      retry_backoff = max 256 (ff_lat.Latency.p99 / 2);
+      max_queue = max 4 (tasks / 4);
+      seed = sub ~seed 2;
+    }
+  in
+  let undef, _ = arm ~spiked:true ~protection:None in
+  let def, _ = arm ~spiked:true ~protection:(Some protection) in
+  let base_clean = rtc_stall ~spiked:false in
+  let base_spiked = rtc_stall ~spiked:true in
+  let mk arm (r : Server.result) fault base =
+    {
+      scenario = "spike";
+      workload;
+      arm;
+      fault;
+      cycles = r.Server.cycles;
+      completed = r.Server.completed;
+      hidden_cycles = base - r.Server.stall;
+      latency = Latency.summary r.Server.latency_sojourns;
+      counters =
+        [
+          ("server.shed", r.Server.shed);
+          ("server.timeout", r.Server.timed_out);
+          ("server.retry", r.Server.retried);
+          ("server.expired", r.Server.expired);
+        ];
+    }
+  in
+  [
+    mk "fault-free" ff None base_clean;
+    mk "undefended" undef (Some fault) base_spiked;
+    mk "defended" def (Some fault) base_spiked;
+  ]
+
+let run ?(opts = default_opts) ~workload fault =
+  if not (List.mem workload workload_names) then
+    invalid_arg
+      (Printf.sprintf "Harness.run: unknown workload %S (expected %s)" workload
+         (String.concat " | " workload_names));
+  match fault with
+  | Faults.Drift { shrink } -> run_drift ~opts ~workload ~shrink fault
+  | Faults.Degrade _ -> run_degraded ~opts ~workload fault
+  | Faults.Rogue { count; compute } -> run_rogue ~opts ~workload ~count ~compute fault
+  | Faults.Spike _ -> run_spike ~opts ~workload fault
+
+let run_plan ?(opts = default_opts) ~workloads (plan : Faults.plan) =
+  let opts = { opts with seed = plan.Faults.seed } in
+  List.concat_map
+    (fun workload -> List.concat_map (fun f -> run ~opts ~workload f) plan.Faults.faults)
+    workloads

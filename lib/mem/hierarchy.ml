@@ -4,6 +4,8 @@ let level_name = function L1 -> "L1" | L2 -> "L2" | L3 -> "L3" | Dram -> "DRAM"
 
 type result = { level : level; latency : int; stall : int }
 
+type spike = { from_cycle : int; until_cycle : int; l3_mult : int; dram_mult : int }
+
 type t = {
   cfg : Memconfig.t;
   l1 : Cache.t;
@@ -11,6 +13,7 @@ type t = {
   l3 : Cache.t;
   icache : Cache.t option;
   stats : Mem_stats.t;
+  mutable spike : spike option;
 }
 
 let create cfg =
@@ -25,9 +28,36 @@ let create cfg =
       | Some c -> Some (Cache.create ~name:"I" ~line_bytes:cfg.line_bytes c)
       | None -> None);
     stats = Mem_stats.create ();
+    spike = None;
   }
 
 let config t = t.cfg
+
+let inject_spike t ~from_cycle ~until_cycle ~l3_mult ~dram_mult =
+  if from_cycle < 0 || until_cycle < from_cycle then
+    invalid_arg "Hierarchy.inject_spike: bad window";
+  if l3_mult < 1 || dram_mult < 1 then
+    invalid_arg "Hierarchy.inject_spike: multipliers must be >= 1";
+  t.spike <- Some { from_cycle; until_cycle; l3_mult; dram_mult }
+
+let clear_spike t = t.spike <- None
+
+let spike_active t ~now =
+  match t.spike with
+  | Some s -> now >= s.from_cycle && now < s.until_cycle
+  | None -> false
+
+(* Below-L2 service latency with any active spike applied; in-flight
+   waits are not re-scaled (the fill was priced when it started). *)
+let l3_latency t ~now =
+  match t.spike with
+  | Some s when now >= s.from_cycle && now < s.until_cycle -> t.cfg.l3.latency * s.l3_mult
+  | _ -> t.cfg.l3.latency
+
+let dram_latency t ~now =
+  match t.spike with
+  | Some s when now >= s.from_cycle && now < s.until_cycle -> t.cfg.dram_latency * s.dram_mult
+  | _ -> t.cfg.dram_latency
 
 (* Classify an access without filling: serving level, total latency, and
    whether the wait came from an in-flight fill. *)
@@ -41,9 +71,9 @@ let probe t ~now addr =
       | Cache.In_flight ra -> (L2, max t.cfg.l2.latency (ra - now), true)
       | Cache.Miss -> (
           match Cache.lookup t.l3 ~now addr with
-          | Cache.Hit -> (L3, t.cfg.l3.latency, false)
+          | Cache.Hit -> (L3, l3_latency t ~now, false)
           | Cache.In_flight ra -> (L3, max t.cfg.l3.latency (ra - now), true)
-          | Cache.Miss -> (Dram, t.cfg.dram_latency, false)))
+          | Cache.Miss -> (Dram, dram_latency t ~now, false)))
 
 (* Fill all levels above the serving one. *)
 let fill t ~ready_at ~now level addr =

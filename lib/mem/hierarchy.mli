@@ -17,11 +17,29 @@ type result = {
   stall : int;  (** cycles beyond an L1 hit, i.e. [latency - l1.latency] *)
 }
 
+(** A transient latency fault: between [from_cycle] (inclusive) and
+    [until_cycle] (exclusive), accesses served by L3 pay
+    [l3_mult × l3.latency] and DRAM accesses pay
+    [dram_mult × dram_latency]. Models row-buffer storms, co-tenant
+    bandwidth contention, or thermal throttling — the inputs a
+    production stall-hider must survive, injected deterministically. *)
+type spike = { from_cycle : int; until_cycle : int; l3_mult : int; dram_mult : int }
+
 type t
 
 val create : Memconfig.t -> t
 
 val config : t -> Memconfig.t
+
+(** Arm a latency spike. In-flight fills keep the price they were
+    issued at; only new below-L2 service inside the window is scaled.
+    @raise Invalid_argument on an empty window or multipliers < 1. *)
+val inject_spike :
+  t -> from_cycle:int -> until_cycle:int -> l3_mult:int -> dram_mult:int -> unit
+
+val clear_spike : t -> unit
+
+val spike_active : t -> now:int -> bool
 
 val access : t -> now:int -> int -> result
 

@@ -1,6 +1,14 @@
 open Stallhide_isa
 open Stallhide_mem
 
+type watchdog_action = Strike | Demote | Quarantine | Readmit
+
+let watchdog_action_name = function
+  | Strike -> "strike"
+  | Demote -> "demote"
+  | Quarantine -> "quarantine"
+  | Readmit -> "readmit"
+
 type t =
   | Yield of { ctx : int; pc : int; kind : Instr.yield_kind; fired : bool; cycle : int }
   | Cache_access of {
@@ -16,6 +24,7 @@ type t =
   | Op_retired of { ctx : int; pc : int; cycle : int }
   | Context_switch of { from_ctx : int; to_ctx : int; at_pc : int; cost : int; cycle : int }
   | Scavenger_escalation of { ctx : int; pc : int; cycle : int }
+  | Watchdog of { ctx : int; action : watchdog_action; cycle : int }
   | Dispatch of { ctx : int; start : int; stop : int }
 
 let ctx_of = function
@@ -25,6 +34,7 @@ let ctx_of = function
   | Frontend_stall { ctx; _ }
   | Op_retired { ctx; _ }
   | Scavenger_escalation { ctx; _ }
+  | Watchdog { ctx; _ }
   | Dispatch { ctx; _ } ->
       ctx
   | Context_switch { from_ctx; _ } -> from_ctx
@@ -36,7 +46,8 @@ let cycle_of = function
   | Frontend_stall { cycle; _ }
   | Op_retired { cycle; _ }
   | Context_switch { cycle; _ }
-  | Scavenger_escalation { cycle; _ } ->
+  | Scavenger_escalation { cycle; _ }
+  | Watchdog { cycle; _ } ->
       cycle
   | Dispatch { start; _ } -> start
 
@@ -59,4 +70,6 @@ let pp fmt = function
         cost
   | Scavenger_escalation { ctx; pc; cycle } ->
       Format.fprintf fmt "@%d ctx%d scavenger-escalation@%d" cycle ctx pc
+  | Watchdog { ctx; action; cycle } ->
+      Format.fprintf fmt "@%d ctx%d watchdog-%s" cycle ctx (watchdog_action_name action)
   | Dispatch { ctx; start; stop } -> Format.fprintf fmt "@%d ctx%d dispatch %d cyc" start ctx (stop - start)

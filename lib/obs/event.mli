@@ -11,6 +11,15 @@
 open Stallhide_isa
 open Stallhide_mem
 
+(** Scheduler-watchdog verdicts on a misbehaving scavenger (the
+    fault-injection self-defense loop): a [Strike] is one dispatch
+    caught past its cycle bound; [Demote] benches the context after K
+    strikes; [Quarantine] retires a repeat offender for good; [Readmit]
+    lets a demoted context back in after its backoff expires. *)
+type watchdog_action = Strike | Demote | Quarantine | Readmit
+
+val watchdog_action_name : watchdog_action -> string
+
 type t =
   | Yield of { ctx : int; pc : int; kind : Instr.yield_kind; fired : bool; cycle : int }
       (** a yield-family instruction retired; [fired = false] means the
@@ -38,6 +47,8 @@ type t =
   | Scavenger_escalation of { ctx : int; pc : int; cycle : int }
       (** a scavenger hit its own miss inside a primary's stall window
           and the core was handed to the next one (§3.3) *)
+  | Watchdog of { ctx : int; action : watchdog_action; cycle : int }
+      (** the scheduler watchdog acted on scavenger [ctx] *)
   | Dispatch of { ctx : int; start : int; stop : int }
       (** one scheduler dispatch span: [ctx] held the core over
           [start, stop) *)

@@ -51,6 +51,11 @@ let event_json = function
            [ ("to", Json.Int to_ctx); ("pc", Json.Int at_pc); ("cost", Json.Int cost) ])
   | Event.Scavenger_escalation { ctx; pc; cycle } ->
       Some (instant ~name:"scavenger-escalation" ~cat:"sched" ~tid:ctx ~ts:cycle [ ("pc", Json.Int pc) ])
+  | Event.Watchdog { ctx; action; cycle } ->
+      Some
+        (instant
+           ~name:("watchdog-" ^ Event.watchdog_action_name action)
+           ~cat:"sched" ~tid:ctx ~ts:cycle [])
 
 let to_json stream =
   let ctxs = Hashtbl.create 8 in

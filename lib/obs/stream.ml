@@ -30,6 +30,15 @@ let count t event =
       Registry.observe (Registry.histogram r ~ctx:from_ctx "switch.cost") cost
   | Event.Scavenger_escalation { ctx; _ } ->
       Registry.incr (Registry.counter r ~ctx "scavenger.escalations")
+  | Event.Watchdog { ctx; action; _ } ->
+      let name =
+        match action with
+        | Event.Strike -> "watchdog.strikes"
+        | Event.Demote -> "watchdog.demotions"
+        | Event.Quarantine -> "watchdog.quarantines"
+        | Event.Readmit -> "watchdog.readmissions"
+      in
+      Registry.incr (Registry.counter r ~ctx name)
   | Event.Dispatch { ctx; start; stop } ->
       Registry.observe (Registry.histogram r ~ctx "dispatch.cycles") (stop - start)
 

@@ -13,6 +13,19 @@ let event_name = function
 
 type sample = { pc : int; addr : int; stall : int; cycle : int }
 
+type degradation_spec = { loss : float; skid : int; misattr : float; seed : int }
+
+type degradation = {
+  spec : degradation_spec;
+  st : Random.State.t;
+  recent : int array;  (** ring of recently sampled pcs, misattribution donors *)
+  mutable recent_len : int;
+  mutable recent_at : int;
+  mutable lost : int;
+  mutable skidded : int;
+  mutable misattributed : int;
+}
+
 type t = {
   ev : event;
   sample_period : int;
@@ -21,6 +34,7 @@ type t = {
   mutable countdown : int;
   mutable dropped : int;
   mutable occurrences : int;
+  mutable degradation : degradation option;
 }
 
 let create ?(buffer_capacity = 1 lsl 20) ~event ~period () =
@@ -33,14 +47,69 @@ let create ?(buffer_capacity = 1 lsl 20) ~event ~period () =
     countdown = period;
     dropped = 0;
     occurrences = 0;
+    degradation = None;
   }
 
 let event t = t.ev
 
 let period t = t.sample_period
 
-let record t s =
+let degrade t spec =
+  if spec.loss < 0.0 || spec.loss > 1.0 then invalid_arg "Pebs.degrade: loss must be in [0,1]";
+  if spec.misattr < 0.0 || spec.misattr > 1.0 then
+    invalid_arg "Pebs.degrade: misattr must be in [0,1]";
+  if spec.skid < 0 then invalid_arg "Pebs.degrade: skid must be >= 0";
+  t.degradation <-
+    Some
+      {
+        spec;
+        st = Random.State.make [| spec.seed; 0x7eb5; Hashtbl.hash t.ev |];
+        recent = Array.make 64 0;
+        recent_len = 0;
+        recent_at = 0;
+        lost = 0;
+        skidded = 0;
+        misattributed = 0;
+      }
+
+let degradation_injected t =
+  match t.degradation with
+  | None -> (0, 0, 0)
+  | Some d -> (d.lost, d.skidded, d.misattributed)
+
+let push_sample t s =
   if Vec.length t.buf < t.capacity then Vec.push t.buf s else t.dropped <- t.dropped + 1
+
+(* Apply the configured degradation to one hardware sample: drop it
+   (sample loss), displace its pc forward (skid), or stamp it with a
+   recently-sampled unrelated pc (misattribution) — the three failure
+   modes of real PEBS/IBS units the causality-analysis literature
+   documents. Deterministic per seed. *)
+let record t s =
+  match t.degradation with
+  | None -> push_sample t s
+  | Some d ->
+      d.recent.(d.recent_at) <- s.pc;
+      d.recent_at <- (d.recent_at + 1) mod Array.length d.recent;
+      if d.recent_len < Array.length d.recent then d.recent_len <- d.recent_len + 1;
+      if d.spec.loss > 0.0 && Random.State.float d.st 1.0 < d.spec.loss then
+        d.lost <- d.lost + 1
+      else begin
+        let s =
+          if d.spec.misattr > 0.0 && Random.State.float d.st 1.0 < d.spec.misattr then begin
+            let donor = d.recent.(Random.State.int d.st d.recent_len) in
+            if donor <> s.pc then d.misattributed <- d.misattributed + 1;
+            { s with pc = donor }
+          end
+          else if d.spec.skid > 0 then begin
+            let delta = Random.State.int d.st (d.spec.skid + 1) in
+            if delta > 0 then d.skidded <- d.skidded + 1;
+            { s with pc = s.pc + delta }
+          end
+          else s
+        in
+        push_sample t s
+      end
 
 (* [count t n sample] advances the event counter by [n] occurrences and
    records one sample per period boundary crossed. *)
@@ -93,6 +162,12 @@ let clear t =
   Vec.clear t.buf;
   t.countdown <- t.sample_period;
   t.dropped <- 0;
-  t.occurrences <- 0
+  t.occurrences <- 0;
+  match t.degradation with
+  | None -> ()
+  | Some d ->
+      d.lost <- 0;
+      d.skidded <- 0;
+      d.misattributed <- 0
 
 let overhead_cycles ?(per_sample = 40) t = per_sample * (Vec.length t.buf + t.dropped)

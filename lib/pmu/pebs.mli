@@ -24,9 +24,31 @@ val event_name : event -> string
 
 type sample = { pc : int; addr : int; stall : int; cycle : int }
 
+(** Deterministic sampling-degradation fault, applied to every would-be
+    sample before it reaches the buffer:
+    - [loss] — probability the sample is silently discarded (overflow,
+      microcode drop);
+    - [skid] — maximum forward pc displacement; each surviving sample
+      lands on a uniformly-chosen pc in [pc .. pc+skid] (the classic
+      non-precise-sampling skid);
+    - [misattr] — probability the sample's pc is replaced by a recently
+      sampled *unrelated* pc (cross-load misattribution under pressure).
+    Misattribution and skid are mutually exclusive per sample
+    (misattribution wins the coin flip first). Seeded: identical runs
+    degrade identically. *)
+type degradation_spec = { loss : float; skid : int; misattr : float; seed : int }
+
 type t
 
 val create : ?buffer_capacity:int -> event:event -> period:int -> unit -> t
+
+(** Arm the degradation fault on this unit.
+    @raise Invalid_argument on probabilities outside [0,1] or negative
+    skid. *)
+val degrade : t -> degradation_spec -> unit
+
+(** [(lost, skidded, misattributed)] counts injected so far. *)
+val degradation_injected : t -> int * int * int
 
 val event : t -> event
 

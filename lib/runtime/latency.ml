@@ -73,6 +73,11 @@ let summarize xs =
           max = List.fold_left max min_int xs;
         }
 
+let empty_summary =
+  { count = 0; mean = 0.0; stddev = 0.0; p50 = 0; p90 = 0; p99 = 0; p999 = 0; max = 0 }
+
+let summary xs = match summarize xs with Some s -> s | None -> empty_summary
+
 let pp_summary fmt s =
   Format.fprintf fmt "n=%d mean=%.1f sd=%.1f p50=%d p90=%d p99=%d p99.9=%d max=%d" s.count s.mean
     s.stddev s.p50 s.p90 s.p99 s.p999 s.max

@@ -34,6 +34,16 @@ type summary = {
 
 val summarize : int list -> summary option
 
+(** All-zero summary: what an empty sample set summarizes to. *)
+val empty_summary : summary
+
+(** Total variant of {!summarize}: never raises; an empty sample set
+    yields {!empty_summary} ([count = 0] distinguishes it from real
+    data). Fault-injection runs legitimately produce empty sets — e.g.
+    every request shed under overload — so consumers must not have to
+    guard the empty case themselves. *)
+val summary : int list -> summary
+
 (** [percentile xs q] with [q] in [0,1]; [xs] need not be sorted.
     @raise Invalid_argument on an empty list. *)
 val percentile : int list -> float -> int

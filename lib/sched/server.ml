@@ -9,11 +9,23 @@ let policy_name = function
   | Side_integration -> "side-integration"
   | Event_aware -> "event-aware"
 
+type protection = {
+  deadline : int;
+  max_retries : int;
+  retry_backoff : int;
+  max_queue : int;
+  seed : int;
+}
+
+let default_protection =
+  { deadline = 4096; max_retries = 2; retry_backoff = 1024; max_queue = 64; seed = 0 }
+
 type config = {
   policy : policy;
   switch : Switch_cost.t;
   engine : Engine.config;
   max_active : int;
+  protection : protection option;
 }
 
 let default_config =
@@ -22,6 +34,7 @@ let default_config =
     switch = Switch_cost.coroutine;
     engine = Engine.default_config;
     max_active = 16;
+    protection = None;
   }
 
 type result = {
@@ -32,6 +45,10 @@ type result = {
   stall : int;
   completed : int;
   faulted : int;
+  shed : int;
+  timed_out : int;
+  retried : int;
+  expired : int;
   latency_sojourns : int list;
   batch_sojourns : int list;
 }
@@ -47,6 +64,14 @@ let run ?(config = default_config) ?(max_cycles = max_int) ?obs hier mem tasks =
     | [ _ ] | [] -> true
   in
   if not (sorted tasks) then invalid_arg "Server.run: tasks must be sorted by arrival";
+  (match config.protection with
+  | Some p ->
+      if p.deadline <= 0 then invalid_arg "Server.run: protection.deadline must be positive";
+      if p.max_retries < 0 then invalid_arg "Server.run: protection.max_retries must be >= 0";
+      if p.retry_backoff <= 0 then
+        invalid_arg "Server.run: protection.retry_backoff must be positive";
+      if p.max_queue <= 0 then invalid_arg "Server.run: protection.max_queue must be positive"
+  | None -> ());
   let clock = ref 0 in
   let idle = ref 0 in
   let switches = ref 0 in
@@ -57,16 +82,95 @@ let run ?(config = default_config) ?(max_cycles = max_int) ?obs hier mem tasks =
   let completed = ref 0 in
   let faulted = ref 0 in
   let done_tasks = ref [] in
+  (* Overload-protection state (all idle when [config.protection = None]):
+     shed arrivals when the ready queue is deep, time out queued requests
+     past their deadline, re-enqueue them after a jittered exponential
+     backoff up to [max_retries], then expire them. Started tasks always
+     run to completion — a coroutine cannot be restarted mid-flight, and
+     abandoning work already paid for is the overload anti-pattern. *)
+  let shed = ref 0 in
+  let timed_out = ref 0 in
+  let retried = ref 0 in
+  let expired = ref 0 in
+  let prot_rand =
+    match config.protection with
+    | Some p -> Random.State.make [| p.seed; 0x5e12e1 |]
+    | None -> Random.State.make [| 0 |]
+  in
+  let retries_tbl : (int, int) Hashtbl.t = Hashtbl.create 32 in
+  let window_start : (int, int) Hashtbl.t = Hashtbl.create 32 in
+  (* (eligible_at, task) pairs awaiting retry, kept sorted by time *)
+  let delayed : (int * Task.t) list ref = ref [] in
+  let bump name =
+    match obs with
+    | Some s ->
+        Stallhide_obs.Registry.incr
+          (Stallhide_obs.Registry.counter (Stallhide_obs.Stream.registry s) ~ctx:(-1) name)
+    | None -> ()
+  in
+  let deadline_start (t : Task.t) =
+    match Hashtbl.find_opt window_start t.Task.id with Some c -> c | None -> t.Task.arrival
+  in
   let absorb () =
+    let enqueue (t : Task.t) =
+      match config.protection with
+      | Some p when Ready_queue.length rq >= p.max_queue ->
+          (* queue-depth admission control: drop at the door *)
+          incr shed;
+          bump "server.shed"
+      | _ -> Ready_queue.push rq t
+    in
     let rec go () =
       match !pending with
       | t :: rest when t.Task.arrival <= !clock ->
           pending := rest;
-          Ready_queue.push rq t;
+          enqueue t;
           go ()
       | _ -> ()
     in
-    go ()
+    go ();
+    let rec release () =
+      match !delayed with
+      | (at, t) :: rest when at <= !clock ->
+          delayed := rest;
+          enqueue t;
+          release ()
+      | _ -> ()
+    in
+    release ()
+  in
+  (* Deadline check on a queue pop: a queued request older than its
+     deadline window is not worth starting (its client has given up) —
+     retry it later or expire it. *)
+  let rec pop_live () =
+    match Ready_queue.pop_opt rq with
+    | None -> None
+    | Some t -> (
+        match config.protection with
+        | Some p when !clock > deadline_start t + p.deadline -> begin
+            incr timed_out;
+            bump "server.timeout";
+            let r = match Hashtbl.find_opt retries_tbl t.Task.id with Some r -> r | None -> 0 in
+            if r < p.max_retries then begin
+              Hashtbl.replace retries_tbl t.Task.id (r + 1);
+              let backoff = p.retry_backoff lsl r in
+              let jitter = Random.State.int prot_rand backoff in
+              let at = !clock + backoff + jitter in
+              Hashtbl.replace window_start t.Task.id at;
+              delayed :=
+                List.merge
+                  (fun (a, _) (b, _) -> compare a b)
+                  !delayed [ (at, t) ];
+              incr retried;
+              bump "server.retry"
+            end
+            else begin
+              incr expired;
+              bump "server.expired"
+            end;
+            pop_live ()
+          end
+        | _ -> Some t)
   in
   let set_mode (t : Task.t) =
     t.Task.ctx.Context.mode <-
@@ -88,7 +192,7 @@ let run ?(config = default_config) ?(max_cycles = max_int) ?obs hier mem tasks =
     let cap = match config.policy with Run_to_completion -> 1 | _ -> config.max_active in
     let rec go () =
       if Stallhide_util.Vec.length active < cap then
-        match Ready_queue.pop_opt rq with
+        match pop_live () with
         | Some t ->
             set_mode t;
             Stallhide_util.Vec.push active t;
@@ -194,16 +298,24 @@ let run ?(config = default_config) ?(max_cycles = max_int) ?obs hier mem tasks =
   let continue = ref true in
   while
     !continue && !clock < max_cycles
-    && (Stallhide_util.Vec.length active > 0 || (not (Ready_queue.is_empty rq)) || !pending <> [])
+    && (Stallhide_util.Vec.length active > 0
+       || (not (Ready_queue.is_empty rq))
+       || !pending <> [] || !delayed <> [])
   do
     admit ();
     if Stallhide_util.Vec.length active = 0 then begin
-      (* nothing runnable: jump to the next arrival *)
-      match !pending with
-      | [] -> continue := false
-      | t :: _ ->
-          idle := !idle + (t.Task.arrival - !clock);
-          clock := t.Task.arrival
+      (* nothing runnable: jump to the next arrival or retry release *)
+      let next_pending = match !pending with t :: _ -> Some t.Task.arrival | [] -> None in
+      let next_delayed = match !delayed with (at, _) :: _ -> Some at | [] -> None in
+      match (next_pending, next_delayed) with
+      | None, None -> continue := false
+      | Some a, None | None, Some a ->
+          idle := !idle + (a - !clock);
+          clock := a
+      | Some a, Some b ->
+          let a = min a b in
+          idle := !idle + (a - !clock);
+          clock := a
     end
     else begin
       (match config.policy with
@@ -264,6 +376,10 @@ let run ?(config = default_config) ?(max_cycles = max_int) ?obs hier mem tasks =
     stall;
     completed = !completed;
     faulted = !faulted;
+    shed = !shed;
+    timed_out = !timed_out;
+    retried = !retried;
+    expired = !expired;
     latency_sojourns = sojourns Task.Latency;
     batch_sojourns = sojourns Task.Batch;
   }

@@ -25,11 +25,40 @@ type policy = Run_to_completion | Side_integration | Event_aware
 
 val policy_name : policy -> string
 
+(** Overload protection (runtime self-defense under latency faults):
+
+    - {b admission control} — an arrival finding [max_queue] requests
+      already queued is shed at the door ([server.shed]);
+    - {b deadline} — a queued request older than [deadline] cycles
+      (counted from arrival, or from its last retry release) is not
+      started: its client has given up ([server.timeout]);
+    - {b retry} — a timed-out request is re-released after a jittered
+      exponential backoff ([retry_backoff · 2^k] plus uniform jitter of
+      up to the same, seeded by [seed]) at most [max_retries] times
+      ([server.retry]); after that it expires for good
+      ([server.expired]).
+
+    Started tasks always run to completion: a coroutine cannot be
+    restarted mid-flight, and abandoning paid-for work is the overload
+    anti-pattern. Counters land in the [obs] stream registry with
+    [ctx = -1]. *)
+type protection = {
+  deadline : int;
+  max_retries : int;
+  retry_backoff : int;
+  max_queue : int;
+  seed : int;
+}
+
+(** deadline 4096, 2 retries, backoff 1024, queue bound 64. *)
+val default_protection : protection
+
 type config = {
   policy : policy;
   switch : Switch_cost.t;
   engine : Engine.config;
   max_active : int;  (** admission bound on concurrently-live tasks *)
+  protection : protection option;  (** [None] (the default) disables *)
 }
 
 val default_config : config
@@ -42,6 +71,10 @@ type result = {
   stall : int;
   completed : int;
   faulted : int;
+  shed : int;  (** arrivals dropped by queue-depth admission control *)
+  timed_out : int;  (** queued requests found past their deadline *)
+  retried : int;  (** timeout re-releases (subset of [timed_out]) *)
+  expired : int;  (** requests abandoned after [max_retries] *)
   latency_sojourns : int list;
   batch_sojourns : int list;
 }
