@@ -900,6 +900,94 @@ let c18 () =
        rows)
 
 (* ------------------------------------------------------------------ *)
+(* C19 — lib/smp: multi-core scaling, dispatch policy, stealing.       *)
+(* ------------------------------------------------------------------ *)
+
+let c19 () =
+  let module S = Stallhide_smp in
+  let module D = Stallhide_sched.Dispatch in
+  (* harness defaults: sharded kv-server, Zipf(1.1) keys, open-loop
+     arrivals with constant per-core offered load, batch scavengers
+     enqueued on core 0 *)
+  let base = S.Harness.default_params in
+  let run ?(policy = D.Jbsq) ?(steal = true) ?(pgo = true) cores =
+    S.Harness.run { base with S.Harness.cores; policy; steal; pgo }
+  in
+  let one = run 1 in
+  let one_nopgo = run ~pgo:false 1 in
+  let scaled = List.map (fun c -> (c, run c, run ~pgo:false c)) [ 1; 2; 4; 8 ] in
+  Experiment.table
+    ~title:"C19: multi-core scaling — sharded kv-server, JBSQ + stealing (lib/smp)"
+    ~note:
+      "shared L3 (16 below-L2 services per 32-cycle window) + cross-core invalidation; \
+       per-core offered load held constant, so ideal scaling is Nx throughput"
+    ~header:
+      [ "cores"; "PGO tput"; "speedup"; "eff"; "noPGO tput"; "noPGO speedup"; "p50"; "p99"; "steals" ]
+    (List.map
+       (fun (c, r, n) ->
+         let s = r.S.Harness.result.S.Machine.summary in
+         [
+           fi c;
+           ff ~decimals:3 r.S.Harness.throughput;
+           ff (S.Harness.speedup ~base:one r) ^ "x";
+           pct (S.Harness.efficiency ~base:one r);
+           ff ~decimals:3 n.S.Harness.throughput;
+           ff (S.Harness.speedup ~base:one_nopgo n) ^ "x";
+           fi s.Latency.p50;
+           fi s.Latency.p99;
+           fi r.S.Harness.result.S.Machine.steals;
+         ])
+       scaled);
+  let combos =
+    List.map
+      (fun (policy, steal) -> (policy, steal, run ~policy ~steal 4))
+      [ (D.D_fcfs, false); (D.D_fcfs, true); (D.Jbsq, false); (D.Jbsq, true) ]
+  in
+  Experiment.table
+    ~title:"C19b: dispatch policy x scavenger stealing at 4 cores (Zipf 1.1 keys)"
+    ~note:
+      "d-FCFS inherits the key skew (the hot shard's queue is the tail); JBSQ steers around \
+       it; stealing spreads the core-0 batch backlog either way"
+    ~header:[ "policy"; "steal"; "tput"; "p50"; "p99"; "steals"; "l3 inval" ]
+    (List.map
+       (fun (policy, steal, r) ->
+         let s = r.S.Harness.result.S.Machine.summary in
+         [
+           D.policy_name policy;
+           (if steal then "on" else "off");
+           ff ~decimals:3 r.S.Harness.throughput;
+           fi s.Latency.p50;
+           fi s.Latency.p99;
+           fi r.S.Harness.result.S.Machine.steals;
+           fi r.S.Harness.result.S.Machine.l3.Stallhide_mem.Shared_l3.invalidations;
+         ])
+       combos);
+  (* acceptance scalars, machine-readable *)
+  let find_combo p st =
+    let _, _, r = List.find (fun (p', st', _) -> p' = p && st' = st) combos in
+    r
+  in
+  let _, r8, _ = List.find (fun (c, _, _) -> c = 8) scaled in
+  let jbsq_steal = find_combo D.Jbsq true in
+  let dfcfs_nosteal = find_combo D.D_fcfs false in
+  let diagnostics r = r.S.Harness.verify_errors + r.S.Harness.verify_warnings in
+  Experiment.record "speedup_8core_pgo"
+    (Stallhide_util.Json.Float (S.Harness.speedup ~base:one r8));
+  Experiment.record "efficiency_8core_pgo"
+    (Stallhide_util.Json.Float (S.Harness.efficiency ~base:one r8));
+  Experiment.record "p99_jbsq_steal"
+    (Stallhide_util.Json.Int jbsq_steal.S.Harness.result.S.Machine.summary.Latency.p99);
+  Experiment.record "p99_dfcfs_nosteal"
+    (Stallhide_util.Json.Int dfcfs_nosteal.S.Harness.result.S.Machine.summary.Latency.p99);
+  Experiment.record "steals_8core" (Stallhide_util.Json.Int r8.S.Harness.result.S.Machine.steals);
+  Experiment.record "verify_diagnostics"
+    (Stallhide_util.Json.Int
+       (List.fold_left
+          (fun acc (_, r, n) -> acc + diagnostics r + diagnostics n)
+          (List.fold_left (fun acc (_, _, r) -> acc + diagnostics r) 0 combos)
+          scaled))
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -921,6 +1009,7 @@ let experiments =
     ("C16", c16);
     ("C17", c17);
     ("C18", c18);
+    ("C19", c19);
   ]
 
 let () =

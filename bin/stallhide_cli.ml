@@ -704,12 +704,200 @@ let inject_cmd =
           counters.")
     term
 
+(* smp *)
+
+let smp_cmd =
+  let module Smp = Stallhide_smp in
+  let module Obs = Stallhide_obs in
+  let module J = Stallhide_util.Json in
+  let smp workload cores policy steal pgo seed requests_per_core interarrival skew json
+      trace_out =
+    (* the multi-core harness serves the sharded kv-server; other
+       workloads keep their single-core `run` path *)
+    (match workload with
+    | "kv-server" | "kv_server" -> ()
+    | other ->
+        Printf.eprintf "stallhide: smp serves the sharded kv-server (got %S)\n" other;
+        exit 2);
+    if cores <= 0 then begin
+      Printf.eprintf "stallhide: --cores must be positive (got %d)\n" cores;
+      exit 2
+    end;
+    let policy =
+      match Stallhide_sched.Dispatch.policy_of_string policy with
+      | Some p -> p
+      | None ->
+          Printf.eprintf "stallhide: unknown policy %S (available: d-fcfs, jbsq)\n" policy;
+          exit 2
+    in
+    let params =
+      {
+        Smp.Harness.default_params with
+        Smp.Harness.cores;
+        policy;
+        steal;
+        pgo;
+        seed;
+        requests_per_core;
+        interarrival;
+        skew;
+      }
+    in
+    let r = Smp.Harness.run params in
+    (* single-core reference of the same config, for scaling numbers *)
+    let base =
+      if cores = 1 then r else Smp.Harness.run (Smp.Harness.reference_params params)
+    in
+    let speedup = Smp.Harness.speedup ~base r in
+    let efficiency = Smp.Harness.efficiency ~base r in
+    let reg = Obs.Registry.create () in
+    Smp.Machine.counters_into reg r.Smp.Harness.result;
+    (match trace_out with
+    | Some path ->
+        write_file path (fun path ->
+            Obs.Perfetto.write_tracks ~path
+              (Array.to_list
+                 (Array.map
+                    (fun (c : Smp.Machine.core_result) ->
+                      (Printf.sprintf "core%d" c.Smp.Machine.core_id, c.Smp.Machine.stream))
+                    r.Smp.Harness.result.Smp.Machine.per_core)))
+    | None -> ());
+    if json then begin
+      let fields =
+        match Smp.Harness.to_json r with J.Obj fields -> fields | _ -> assert false
+      in
+      print_endline
+        (J.to_string_pretty
+           (J.Obj
+              (("schema_version", J.Int 1)
+               :: fields
+              @ [
+                  ( "scaling",
+                    J.Obj
+                      [
+                        ("base_cores", J.Int 1);
+                        ("base_throughput_rpk", J.Float base.Smp.Harness.throughput);
+                        ("speedup", J.Float speedup);
+                        ("efficiency", J.Float efficiency);
+                      ] );
+                  ("registry", J.Obj [ ("core", Obs.Registry.namespace_json reg ~prefix:"core") ]);
+                ])))
+    end
+    else begin
+      let res = r.Smp.Harness.result in
+      let s = res.Smp.Machine.summary in
+      Printf.printf "smp: %d core(s), policy %s, steal %s, pgo %s, seed %d\n" cores
+        (Stallhide_sched.Dispatch.policy_name policy)
+        (if steal then "on" else "off")
+        (if pgo then "on" else "off")
+        seed;
+      Printf.printf "requests: %d completed, %d faulted in %d cycles (%.3f req/kcycle)\n"
+        res.Smp.Machine.completed res.Smp.Machine.faulted res.Smp.Machine.cycles
+        r.Smp.Harness.throughput;
+      Printf.printf "latency: mean=%.0f p50=%d p90=%d p99=%d p999=%d max=%d\n"
+        s.Stallhide_runtime.Latency.mean s.Stallhide_runtime.Latency.p50
+        s.Stallhide_runtime.Latency.p90 s.Stallhide_runtime.Latency.p99
+        s.Stallhide_runtime.Latency.p999 s.Stallhide_runtime.Latency.max;
+      let l3 = res.Smp.Machine.l3 in
+      Printf.printf
+        "shared l3: %d admitted, %d queued (%d cycles), %d writes, %d invalidations\n"
+        l3.Stallhide_mem.Shared_l3.admitted l3.Stallhide_mem.Shared_l3.queued
+        l3.Stallhide_mem.Shared_l3.queue_cycles l3.Stallhide_mem.Shared_l3.writes
+        l3.Stallhide_mem.Shared_l3.invalidations;
+      Printf.printf "steals: %d (%d donated)\n" res.Smp.Machine.steals
+        res.Smp.Machine.donations;
+      Printf.printf "%-5s %9s %6s %6s %7s %8s %6s %6s %6s %6s\n" "core" "cycles" "disp"
+        "scav" "switch" "swcyc" "steal" "don" "esc" "compl";
+      Array.iter
+        (fun (c : Smp.Machine.core_result) ->
+          let st = c.Smp.Machine.stats in
+          Printf.printf "%-5d %9d %6d %6d %7d %8d %6d %6d %6d %6d\n" c.Smp.Machine.core_id
+            c.Smp.Machine.cycles st.Stallhide_runtime.Core_sched.dispatches
+            st.Stallhide_runtime.Core_sched.scav_dispatches
+            st.Stallhide_runtime.Core_sched.switches
+            st.Stallhide_runtime.Core_sched.switch_cycles
+            st.Stallhide_runtime.Core_sched.steals st.Stallhide_runtime.Core_sched.donated
+            st.Stallhide_runtime.Core_sched.escalations
+            st.Stallhide_runtime.Core_sched.completions)
+        res.Smp.Machine.per_core;
+      if cores > 1 then
+        Printf.printf "scaling vs 1 core: speedup %.2f, efficiency %.2f\n" speedup efficiency;
+      Printf.printf "verify: %d program(s), %d error(s), %d warning(s)\n"
+        r.Smp.Harness.verify_programs r.Smp.Harness.verify_errors
+        r.Smp.Harness.verify_warnings;
+      match trace_out with
+      | Some path -> Printf.printf "trace written to %s\n" path
+      | None -> ()
+    end
+  in
+  let smp_workload_arg =
+    Arg.(value & opt string "kv-server"
+         & info [ "w"; "workload" ] ~docv:"NAME"
+             ~doc:"Workload to serve; the multi-core harness supports kv-server.")
+  in
+  let cores_arg =
+    Arg.(value & opt int 4 & info [ "cores" ] ~docv:"N" ~doc:"Number of simulated cores.")
+  in
+  let smp_policy_arg =
+    Arg.(value & opt string "jbsq"
+         & info [ "policy" ] ~docv:"POLICY" ~doc:"Dispatch policy: d-fcfs | jbsq.")
+  in
+  let steal_arg =
+    Arg.(value & vflag true
+           [
+             (true, info [ "steal" ] ~doc:"Enable cross-core scavenger stealing (default).");
+             (false, info [ "no-steal" ] ~doc:"Disable cross-core scavenger stealing.");
+           ])
+  in
+  let pgo_arg =
+    Arg.(value & vflag true
+           [
+             (true, info [ "pgo" ] ~doc:"Serve instrumented programs (default).");
+             (false, info [ "no-pgo" ] ~doc:"Serve uninstrumented programs (no stall hiding).");
+           ])
+  in
+  let requests_arg =
+    Arg.(value & opt int Stallhide_smp.Harness.default_params.Stallhide_smp.Harness.requests_per_core
+         & info [ "requests-per-core" ] ~docv:"N" ~doc:"Offered requests per core.")
+  in
+  let interarrival_arg =
+    Arg.(value & opt int Stallhide_smp.Harness.default_params.Stallhide_smp.Harness.interarrival
+         & info [ "interarrival" ] ~docv:"CYCLES"
+             ~doc:"Mean per-core cycles between request arrivals (open loop).")
+  in
+  let skew_arg =
+    Arg.(value & opt float Stallhide_smp.Harness.default_params.Stallhide_smp.Harness.skew
+         & info [ "skew" ] ~docv:"S" ~doc:"Zipf exponent over the key universe.")
+  in
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Emit machine totals, per-core rows, scaling and the counter registry as JSON.")
+  in
+  let trace_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE"
+             ~doc:"Write a Perfetto trace with one named track per core to $(docv).")
+  in
+  let term =
+    Term.(
+      const smp $ smp_workload_arg $ cores_arg $ smp_policy_arg $ steal_arg $ pgo_arg
+      $ seed_arg $ requests_arg $ interarrival_arg $ skew_arg $ json_arg $ trace_out_arg)
+  in
+  Cmd.v
+    (Cmd.info "smp"
+       ~doc:
+         "Serve the sharded kv-server on an N-core machine (shared L3, d-FCFS or JBSQ \
+          dispatch, cross-core scavenger stealing) and report throughput, tail latency and \
+          scaling vs a single core.")
+    term
+
 let () =
   let doc = "hide L2/L3-miss stalls in software: coroutines + profile-guided yields" in
   let info = Cmd.info "stallhide" ~version:"1.0.0" ~doc in
   let group =
     Cmd.group info
-      [ run_cmd; disasm_cmd; instrument_cmd; lint_cmd; profile_cmd; trace_cmd; inject_cmd ]
+      [ run_cmd; disasm_cmd; instrument_cmd; lint_cmd; profile_cmd; trace_cmd; inject_cmd; smp_cmd ]
   in
   (* Fail-fast contract of the pipeline: a rewrite the verifier rejects
      never runs. Render the diagnostics instead of a backtrace. *)

@@ -133,6 +133,7 @@ let step cfg hier mem ~clock (ctx : Context.t) =
           fault ctx "store to invalid address %d at pc %d" addr pc
         else begin
           Address_space.store mem addr ctx.regs.(rv);
+          Hierarchy.write hier ~now:!clock addr;
           advance (Cost.base i);
           next ();
           retire ();

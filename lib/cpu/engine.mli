@@ -39,7 +39,9 @@ type step_result = Normal | Blocked_until of int | Stop of stop
 val accel_transform : int -> int
 
 (** Execute exactly one instruction of [ctx], advancing [clock] by its
-    cost. *)
+    cost. This is the resumable interface the SMP machine interleaves:
+    each core owns its own [clock] and contexts, so N engines can be
+    stepped against a shared L3 in any deterministic order. *)
 val step :
   config -> Hierarchy.t -> Address_space.t -> clock:int ref -> Context.t -> step_result
 

@@ -92,6 +92,16 @@ let resident t ~now addr =
   let line = line_of t addr in
   match find t line with -1 -> false | slot -> t.ready.(slot) <= now
 
+let invalidate t addr =
+  let line = line_of t addr in
+  match find t line with
+  | -1 -> false
+  | slot ->
+      t.tags.(slot) <- -1;
+      t.ready.(slot) <- 0;
+      t.stamp.(slot) <- 0;
+      true
+
 let hits t = t.hit_count
 
 let misses t = t.miss_count

@@ -29,6 +29,12 @@ val insert : t -> now:int -> ready_at:int -> int -> unit
     residency oracle). *)
 val resident : t -> now:int -> int -> bool
 
+(** [invalidate t addr] drops the line containing [addr] if present
+    (cross-core coherence: a remote write kills local copies). Returns
+    [true] if a line was actually removed. Does not count as a hit or a
+    miss. *)
+val invalidate : t -> int -> bool
+
 val hits : t -> int
 
 val misses : t -> int

@@ -14,6 +14,7 @@ type t = {
   icache : Cache.t option;
   stats : Mem_stats.t;
   mutable spike : spike option;
+  shared : (Shared_l3.t * int) option;  (* (port, this core's id) *)
 }
 
 let create cfg =
@@ -29,9 +30,38 @@ let create cfg =
       | None -> None);
     stats = Mem_stats.create ();
     spike = None;
+    shared = None;
+  }
+
+let create_core cfg ~shared =
+  Memconfig.validate cfg;
+  let l1 = Cache.create ~name:"L1" ~line_bytes:cfg.line_bytes cfg.l1 in
+  let l2 = Cache.create ~name:"L2" ~line_bytes:cfg.line_bytes cfg.l2 in
+  let invalidate addr =
+    let k1 = if Cache.invalidate l1 addr then 1 else 0 in
+    let k2 = if Cache.invalidate l2 addr then 1 else 0 in
+    k1 + k2
+  in
+  let core = Shared_l3.attach shared ~invalidate in
+  {
+    cfg;
+    l1;
+    l2;
+    l3 = Shared_l3.cache shared;
+    icache =
+      (match cfg.icache with
+      | Some c -> Some (Cache.create ~name:"I" ~line_bytes:cfg.line_bytes c)
+      | None -> None);
+    stats = Mem_stats.create ();
+    spike = None;
+    shared = Some (shared, core);
   }
 
 let config t = t.cfg
+
+let core_id t = match t.shared with Some (_, c) -> Some c | None -> None
+
+let shared_port t = match t.shared with Some (p, _) -> Some p | None -> None
 
 let inject_spike t ~from_cycle ~until_cycle ~l3_mult ~dram_mult =
   if from_cycle < 0 || until_cycle < from_cycle then
@@ -89,8 +119,18 @@ let fill t ~ready_at ~now level addr =
       Cache.insert t.l3 ~now ~ready_at addr);
   ()
 
+(* Port admission on the shared L3: a fresh below-L2 service consumes
+   one slot of the machine-wide window budget and may be queued into a
+   later window. In-flight waits were admitted when the fill started. *)
+let admission t ~now level ~inflight =
+  match t.shared with
+  | Some (port, _) when (not inflight) && (level = L3 || level = Dram) ->
+      Shared_l3.admit port ~now
+  | _ -> 0
+
 let access t ~now addr =
   let level, latency, inflight = probe t ~now addr in
+  let latency = latency + admission t ~now level ~inflight in
   let s = t.stats in
   s.demand_accesses <- s.demand_accesses + 1;
   (match level with
@@ -109,11 +149,18 @@ let prefetch t ~now addr =
   s.prefetches <- s.prefetches + 1;
   if Cache.resident t.l1 ~now addr then s.useless_prefetches <- s.useless_prefetches + 1
   else begin
-    let level, latency, _inflight = probe t ~now addr in
+    let level, latency, inflight = probe t ~now addr in
     match level with
     | L1 -> ()  (* already in flight into L1; keep the earlier fill *)
-    | L2 | L3 | Dram -> fill t ~ready_at:(now + latency) ~now level addr
+    | L2 | L3 | Dram ->
+        let latency = latency + admission t ~now level ~inflight in
+        fill t ~ready_at:(now + latency) ~now level addr
   end
+
+let write t ~now:_ addr =
+  match t.shared with
+  | Some (port, core) -> Shared_l3.write port ~core ~addr
+  | None -> ()
 
 let resident t ~now addr =
   if Cache.resident t.l1 ~now addr then Some L1

@@ -29,7 +29,21 @@ type t
 
 val create : Memconfig.t -> t
 
+(** [create_core cfg ~shared] builds one core of an SMP machine:
+    private L1/L2 (and icache) from [cfg], but the L3 level aliases the
+    machine-wide [shared] cache. Below-L2 services go through the
+    shared port's bandwidth budget ([Shared_l3.admit]), and the core is
+    registered with the port so remote writes invalidate its private
+    lines. Per-core [Mem_stats] stay private. *)
+val create_core : Memconfig.t -> shared:Shared_l3.t -> t
+
 val config : t -> Memconfig.t
+
+(** This hierarchy's core id on its shared port; [None] for the
+    single-core hierarchies built by [create]. *)
+val core_id : t -> int option
+
+val shared_port : t -> Shared_l3.t option
 
 (** Arm a latency spike. In-flight fills keep the price they were
     issued at; only new below-L2 service inside the window is scaled.
@@ -44,6 +58,13 @@ val spike_active : t -> now:int -> bool
 val access : t -> now:int -> int -> result
 
 val prefetch : t -> now:int -> int -> unit
+
+(** [write t ~now addr] records a store. On a shared-L3 core this
+    invalidates the line in every other core's private L1/L2 (coherence
+    cost lands on the next remote reader); on a [create] hierarchy it
+    is a no-op. The store itself stays single-cycle — stores retire
+    through a write buffer and never stall the modeled core. *)
+val write : t -> now:int -> int -> unit
 
 (** Deepest-cached test for the §4.1 residency oracle: [Some level] if
     the line is present *and ready* somewhere on chip. Does not perturb

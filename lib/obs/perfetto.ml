@@ -14,7 +14,11 @@ let instant ~name ~cat ~tid ~ts args =
      ]
     @ match args with [] -> [] | _ -> [ ("args", Json.Obj args) ])
 
-let event_json = function
+(* [?tid] pins every event to one track (the per-core export); by
+   default each event lands on its context's track. *)
+let event_json ?tid e =
+  let on default = match tid with Some t -> t | None -> default in
+  match e with
   | Event.Dispatch { ctx; start; stop } ->
       Some
         (Json.Obj
@@ -23,13 +27,14 @@ let event_json = function
              ("cat", Json.String "dispatch");
              ("ph", Json.String "X");
              ("pid", Json.Int 0);
-             ("tid", Json.Int ctx);
+             ("tid", Json.Int (on ctx));
              ("ts", Json.Int start);
              ("dur", Json.Int (stop - start));
            ])
   | Event.Yield { ctx; pc; kind; fired; cycle } ->
       Some
-        (instant ~name:(if fired then "yield" else "yield-skip") ~cat:"yield" ~tid:ctx ~ts:cycle
+        (instant ~name:(if fired then "yield" else "yield-skip") ~cat:"yield" ~tid:(on ctx)
+           ~ts:cycle
            [
              ("pc", Json.Int pc);
              ("kind", Json.String (Event.kind_name kind));
@@ -40,22 +45,24 @@ let event_json = function
       if stall = 0 then None
       else
         Some
-          (instant ~name:("miss-" ^ Hierarchy.level_name level) ~cat:"mem" ~tid:ctx ~ts:cycle
+          (instant ~name:("miss-" ^ Hierarchy.level_name level) ~cat:"mem" ~tid:(on ctx) ~ts:cycle
              [ ("pc", Json.Int pc); ("addr", Json.Int addr); ("stall", Json.Int stall) ])
   | Event.Stall _ | Event.Frontend_stall _ -> None
   | Event.Op_retired { ctx; pc; cycle } ->
-      Some (instant ~name:"op" ~cat:"op" ~tid:ctx ~ts:cycle [ ("pc", Json.Int pc) ])
+      Some (instant ~name:"op" ~cat:"op" ~tid:(on ctx) ~ts:cycle [ ("pc", Json.Int pc) ])
   | Event.Context_switch { from_ctx; to_ctx; at_pc; cost; cycle } ->
       Some
-        (instant ~name:"switch" ~cat:"sched" ~tid:from_ctx ~ts:cycle
+        (instant ~name:"switch" ~cat:"sched" ~tid:(on from_ctx) ~ts:cycle
            [ ("to", Json.Int to_ctx); ("pc", Json.Int at_pc); ("cost", Json.Int cost) ])
   | Event.Scavenger_escalation { ctx; pc; cycle } ->
-      Some (instant ~name:"scavenger-escalation" ~cat:"sched" ~tid:ctx ~ts:cycle [ ("pc", Json.Int pc) ])
+      Some
+        (instant ~name:"scavenger-escalation" ~cat:"sched" ~tid:(on ctx) ~ts:cycle
+           [ ("pc", Json.Int pc) ])
   | Event.Watchdog { ctx; action; cycle } ->
       Some
         (instant
            ~name:("watchdog-" ^ Event.watchdog_action_name action)
-           ~cat:"sched" ~tid:ctx ~ts:cycle [])
+           ~cat:"sched" ~tid:(on ctx) ~ts:cycle [])
 
 let to_json stream =
   let ctxs = Hashtbl.create 8 in
@@ -81,3 +88,31 @@ let to_json stream =
     ]
 
 let write ~path stream = Json.write ~path (to_json stream)
+
+let to_json_tracks tracks =
+  let metadata =
+    List.mapi
+      (fun tid (label, _) ->
+        Json.Obj
+          [
+            ("name", Json.String "thread_name");
+            ("ph", Json.String "M");
+            ("pid", Json.Int 0);
+            ("tid", Json.Int tid);
+            ("args", Json.Obj [ ("name", Json.String label) ]);
+          ])
+      tracks
+  in
+  let body =
+    List.concat
+      (List.mapi
+         (fun tid (_, stream) -> List.filter_map (event_json ~tid) (Stream.events stream))
+         tracks)
+  in
+  Json.Obj
+    [
+      ("displayTimeUnit", Json.String "ns");
+      ("traceEvents", Json.List (metadata @ body));
+    ]
+
+let write_tracks ~path tracks = Json.write ~path (to_json_tracks tracks)

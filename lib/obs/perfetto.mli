@@ -10,3 +10,13 @@
 val to_json : Stream.t -> Stallhide_util.Json.t
 
 val write : path:string -> Stream.t -> unit
+
+(** Multi-core export: one named track per (label, stream) pair, in
+    order — track [i] gets [tid = i], so an SMP trace renders as N
+    parallel core lanes instead of one interleaved lane. Dispatch spans
+    keep their context id in the event {e name} ("ctx 7"), which is how
+    a migrated (stolen) coroutine shows up on two different lanes'
+    labels but only ever runs on one. *)
+val to_json_tracks : (string * Stream.t) list -> Stallhide_util.Json.t
+
+val write_tracks : path:string -> (string * Stream.t) list -> unit

@@ -78,6 +78,32 @@ let empty_summary =
 
 let summary xs = match summarize xs with Some s -> s | None -> empty_summary
 
+let merge summaries =
+  match List.filter (fun s -> s.count > 0) summaries with
+  | [] -> empty_summary
+  | [ s ] -> s
+  | live ->
+      let count = List.fold_left (fun acc s -> acc + s.count) 0 live in
+      let fcount = float_of_int count in
+      let wsumf f = List.fold_left (fun acc s -> acc +. (float_of_int s.count *. f s)) 0.0 live in
+      let mean = wsumf (fun s -> s.mean) /. fcount in
+      (* Pooled second moment: E[x²] per core is stddev² + mean². *)
+      let m2 = wsumf (fun s -> (s.stddev *. s.stddev) +. (s.mean *. s.mean)) /. fcount in
+      let stddev = sqrt (Float.max 0.0 (m2 -. (mean *. mean))) in
+      let wavg f =
+        int_of_float (Float.round (wsumf (fun s -> float_of_int (f s)) /. fcount))
+      in
+      {
+        count;
+        mean;
+        stddev;
+        p50 = wavg (fun s -> s.p50);
+        p90 = wavg (fun s -> s.p90);
+        p99 = wavg (fun s -> s.p99);
+        p999 = wavg (fun s -> s.p999);
+        max = List.fold_left (fun acc s -> max acc s.max) min_int live;
+      }
+
 let pp_summary fmt s =
   Format.fprintf fmt "n=%d mean=%.1f sd=%.1f p50=%d p90=%d p99=%d p99.9=%d max=%d" s.count s.mean
     s.stddev s.p50 s.p90 s.p99 s.p999 s.max

@@ -48,4 +48,13 @@ val summary : int list -> summary
     @raise Invalid_argument on an empty list. *)
 val percentile : int list -> float -> int
 
+(** Combine per-core summaries into one machine-level summary without
+    re-sorting the underlying samples. [count] and [max] are exact;
+    [mean] and [stddev] are exact (pooled moments); the percentiles are
+    count-weighted averages of the per-core percentiles — a standard
+    mergeable-summary approximation, exact when the cores' latency
+    distributions coincide. Empty ([count = 0]) summaries are ignored;
+    merging none yields {!empty_summary}. *)
+val merge : summary list -> summary
+
 val pp_summary : Format.formatter -> summary -> unit

@@ -1,0 +1,79 @@
+(** The sharded kv-server experiment on top of {!Machine}: the setup
+    behind `stallhide smp`, bench C19 and the CI smoke job.
+
+    Requests are KV-GET lanes ({!Stallhide_workloads.Kv_server}): keys
+    are drawn Zipfian from a fixed key universe, each key's home shard
+    is its key hash ({!Stallhide_sched.Dispatch.home}), and each shard
+    owns a private hash table in the one shared memory image — so
+    d-FCFS dispatch gives perfect locality but inherits the key skew,
+    while JBSQ steers around the hot shard at the price of serving a
+    request against a remote shard's table. Scavengers are GROUP-BY
+    lanes ({!Stallhide_workloads.Group_by}); with
+    [share_scav_accs] they all aggregate into one accumulator array,
+    so scavenger stores on different cores invalidate each other's
+    private lines — the cross-core sharing cost the shared L3 models.
+
+    With [pgo] on, both programs go through the §3.2 pipeline
+    (profile → instrument → verify, fail-fast) once, on small twin
+    workloads with the same program text; the instrumented program is
+    then rebound to every serving shard. [verify_errors] and
+    [verify_warnings] re-validate the rebound programs so callers can
+    assert verifier-cleanliness without trusting the fail-fast path. *)
+
+open Stallhide_sched
+
+type params = {
+  cores : int;
+  policy : Dispatch.policy;
+  steal : bool;
+  pgo : bool;
+  requests_per_core : int;
+  req_ops : int;  (** GET probes per request *)
+  service_compute : int;  (** ALU work per GET *)
+  table_slots : int;  (** per-shard hash-table slots *)
+  scav_per_core : int;
+  scav_home_cores : int;
+      (** batch work is enqueued on this many cores (default 1);
+          stealing spreads it to the rest *)
+  scav_tuples : int;
+  scav_groups : int;
+  share_scav_accs : bool;  (** scavengers share one accumulator array *)
+  scav_interval : int;  (** scavenger-pass yield interval under PGO *)
+  skew : float;  (** Zipf exponent over the key universe *)
+  key_universe : int;
+  interarrival : int;  (** mean per-core cycles between arrivals *)
+  seed : int;
+  l3_window : int;
+  l3_budget : int;
+  steal_budget : int;
+  steal_cost : int;
+  max_cycles : int;
+}
+
+val default_params : params
+
+type run = {
+  params : params;
+  result : Machine.result;
+  throughput : float;  (** completed requests per kilocycle *)
+  verify_programs : int;  (** instrumented programs validated *)
+  verify_errors : int;
+  verify_warnings : int;
+}
+
+val run : params -> run
+
+(** [speedup ~base r] and [efficiency ~base r]: throughput relative to
+    [base] (the single-core run of the same configuration), raw and
+    divided by [r]'s core count. *)
+val speedup : base:run -> run -> float
+
+val efficiency : base:run -> run -> float
+
+(** The run's single-core reference configuration. *)
+val reference_params : params -> params
+
+(** Everything but the registry view (the caller owns the registry):
+    config echo, machine totals, merged latency summary, per-core rows,
+    shared-L3 stats, verifier counts. *)
+val to_json : run -> Stallhide_util.Json.t

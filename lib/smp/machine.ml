@@ -1,0 +1,245 @@
+open Stallhide_util
+open Stallhide_cpu
+open Stallhide_mem
+open Stallhide_runtime
+open Stallhide_sched
+
+type config = {
+  cores : int;
+  memcfg : Memconfig.t;
+  l3_window : int;
+  l3_budget : int;
+  core : Core_sched.config;
+  steal : bool;
+  max_cycles : int;
+}
+
+let default_config =
+  {
+    cores = 4;
+    memcfg = Memconfig.default;
+    l3_window = 32;
+    l3_budget = 16;
+    core = Core_sched.default_config;
+    steal = true;
+    max_cycles = max_int;
+  }
+
+type request = {
+  rid : int;
+  key : int;
+  home : int;
+  arrival : int;
+  ctx : Context.t;
+  mutable served_by : int;
+  mutable finished_at : int;
+}
+
+let request ~rid ~key ~home ~arrival ctx =
+  { rid; key; home; arrival; ctx; served_by = -1; finished_at = -1 }
+
+type core_result = {
+  core_id : int;
+  cycles : int;
+  stats : Core_sched.stats;
+  mem : Mem_stats.t;
+  stream : Stallhide_obs.Stream.t;
+  sojourns : int list;
+  faults : string list;
+}
+
+type result = {
+  cycles : int;
+  completed : int;
+  faulted : int;
+  per_core : core_result array;
+  steals : int;
+  donations : int;
+  l3 : Shared_l3.stats;
+  summary : Latency.summary;
+}
+
+let run ?(config = default_config) ~policy ~mem ~requests ~scavengers () =
+  let n = config.cores in
+  if n <= 0 then invalid_arg "Machine.run: cores must be positive";
+  if Array.length scavengers <> n then
+    invalid_arg "Machine.run: scavengers must have one list per core";
+  let reqs = Array.of_list requests in
+  Array.iteri
+    (fun i r ->
+      if i > 0 && r.arrival < reqs.(i - 1).arrival then
+        invalid_arg "Machine.run: requests must be sorted by arrival";
+      if r.home < 0 || r.home >= n then invalid_arg "Machine.run: request home out of range")
+    reqs;
+  let shared = Shared_l3.create ~window:config.l3_window ~budget:config.l3_budget config.memcfg in
+  let streams = Array.init n (fun _ -> Stallhide_obs.Stream.create ()) in
+  let scheds =
+    Array.init n (fun i ->
+        let hier = Hierarchy.create_core config.memcfg ~shared in
+        let engine =
+          {
+            config.core.Core_sched.engine with
+            Engine.hooks =
+              Events.compose
+                [
+                  config.core.Core_sched.engine.Engine.hooks;
+                  Stallhide_obs.Stream.hooks streams.(i);
+                ];
+          }
+        in
+        Core_sched.create
+          ~config:{ config.core with Core_sched.engine }
+          ~obs:streams.(i) hier mem)
+  in
+  Array.iteri (fun i scavs -> List.iter (Core_sched.add_scavenger scheds.(i)) scavs) scavengers;
+  if config.steal then
+    Array.iteri
+      (fun i thief ->
+        Core_sched.set_steal_source thief (fun () ->
+            (* victim: the most-loaded other core, by cold-stealable count *)
+            let best = ref (-1) in
+            let best_n = ref 0 in
+            for j = 0 to n - 1 do
+              if j <> i then begin
+                let s = Core_sched.stealable scheds.(j) in
+                if s > !best_n then begin
+                  best := j;
+                  best_n := s
+                end
+              end
+            done;
+            if !best < 0 then None else Core_sched.donate scheds.(!best)))
+      scheds;
+  let by_ctx = Hashtbl.create (Array.length reqs) in
+  Array.iter (fun r -> Hashtbl.replace by_ctx r.ctx.Context.id r) reqs;
+  let sojourns = Array.init n (fun _ -> Vec.create ()) in
+  Array.iteri
+    (fun i sched ->
+      Core_sched.set_on_complete sched (fun ctx ~now ->
+          match Hashtbl.find_opt by_ctx ctx.Context.id with
+          | Some r ->
+              r.finished_at <- now;
+              Vec.push sojourns.(i) (now - r.arrival)
+          | None -> ()))
+    scheds;
+  let total = Array.length reqs in
+  let released = ref 0 in
+  let clock i = Core_sched.clock scheds.(i) in
+  let argmin () =
+    let best = ref 0 in
+    for i = 1 to n - 1 do
+      if clock i < clock !best then best := i
+    done;
+    !best
+  in
+  let release_upto now =
+    while !released < total && reqs.(!released).arrival <= now do
+      let r = reqs.(!released) in
+      let depths = Array.init n (fun i -> Core_sched.queue_depth scheds.(i)) in
+      let target = Dispatch.choose policy ~home:r.home ~depths in
+      r.served_by <- target;
+      Core_sched.submit scheds.(target) r.ctx;
+      incr released
+    done
+  in
+  let all_quiescent () =
+    let q = ref true in
+    Array.iter (fun s -> if not (Core_sched.quiescent s) then q := false) scheds;
+    !q
+  in
+  let running = ref true in
+  while !running do
+    let c = argmin () in
+    if clock c >= config.max_cycles then running := false
+    else begin
+      release_upto (clock c);
+      if !released = total && all_quiescent () then running := false
+      else
+        match Core_sched.step scheds.(c) ~deadline:config.max_cycles with
+        | Core_sched.Worked -> ()
+        | Core_sched.Idle ->
+            if !released < total then
+              Core_sched.advance_clock scheds.(c) reqs.(!released).arrival
+            else begin
+              (* leapfrog past the slowest non-quiescent core so the
+                 argmin rotation keeps making progress *)
+              let target = ref (clock c + 1) in
+              Array.iteri
+                (fun j s ->
+                  if j <> c && not (Core_sched.quiescent s) then
+                    target := max !target (Core_sched.clock s + 1))
+                scheds;
+              Core_sched.advance_clock scheds.(c) !target
+            end
+    end
+  done;
+  let per_core =
+    Array.init n (fun i ->
+        {
+          core_id = i;
+          cycles = clock i;
+          stats = Core_sched.stats scheds.(i);
+          mem = Hierarchy.stats (Core_sched.hierarchy scheds.(i));
+          stream = streams.(i);
+          sojourns = Vec.to_list sojourns.(i);
+          faults = Core_sched.faults scheds.(i);
+        })
+  in
+  let completed =
+    Array.fold_left (fun acc r -> if r.finished_at >= 0 then acc + 1 else acc) 0 reqs
+  in
+  let faulted =
+    Array.fold_left
+      (fun acc r -> match r.ctx.Context.status with Context.Faulted _ -> acc + 1 | _ -> acc)
+      0 reqs
+  in
+  {
+    cycles = Array.fold_left (fun acc (c : core_result) -> max acc c.cycles) 0 per_core;
+    completed;
+    faulted;
+    per_core;
+    steals =
+      Array.fold_left (fun acc (c : core_result) -> acc + c.stats.Core_sched.steals) 0 per_core;
+    donations =
+      Array.fold_left (fun acc (c : core_result) -> acc + c.stats.Core_sched.donated) 0 per_core;
+    l3 = Shared_l3.stats shared;
+    summary =
+      Latency.merge
+        (Array.to_list (Array.map (fun (c : core_result) -> Latency.summary c.sojourns) per_core));
+  }
+
+let throughput r =
+  if r.cycles = 0 then 0.0
+  else 1000.0 *. float_of_int r.completed /. float_of_int r.cycles
+
+let counters_into reg r =
+  let set name v =
+    let c = Stallhide_obs.Registry.counter reg ~ctx:(-1) name in
+    Stallhide_obs.Registry.incr ~by:v c
+  in
+  Array.iter
+    (fun (c : core_result) ->
+      let p fmt = Printf.sprintf ("core%d." ^^ fmt) c.core_id in
+      let s = c.stats in
+      set (p "cycles") c.cycles;
+      set (p "dispatches") s.Core_sched.dispatches;
+      set (p "scav_dispatches") s.Core_sched.scav_dispatches;
+      set (p "switches") s.Core_sched.switches;
+      set (p "switch_cycles") s.Core_sched.switch_cycles;
+      set (p "steals") s.Core_sched.steals;
+      set (p "donated") s.Core_sched.donated;
+      set (p "escalations") s.Core_sched.escalations;
+      set (p "completions") s.Core_sched.completions;
+      set (p "faults") s.Core_sched.fault_count;
+      set (p "demand_accesses") c.mem.Mem_stats.demand_accesses;
+      set (p "l1_hits") c.mem.Mem_stats.l1_hits;
+      set (p "l2_hits") c.mem.Mem_stats.l2_hits;
+      set (p "l3_hits") c.mem.Mem_stats.l3_hits;
+      set (p "dram_accesses") c.mem.Mem_stats.dram_accesses;
+      set (p "prefetches") c.mem.Mem_stats.prefetches)
+    r.per_core;
+  set "l3.admitted" r.l3.Shared_l3.admitted;
+  set "l3.queued" r.l3.Shared_l3.queued;
+  set "l3.queue_cycles" r.l3.Shared_l3.queue_cycles;
+  set "l3.writes" r.l3.Shared_l3.writes;
+  set "l3.invalidations" r.l3.Shared_l3.invalidations

@@ -1,0 +1,91 @@
+(** The N-core machine: N private-L1/L2 engines with their own
+    dual-mode schedulers ({!Stallhide_runtime.Core_sched}), one shared
+    contended L3 ({!Stallhide_mem.Shared_l3}), a policy-driven request
+    dispatcher ({!Stallhide_sched.Dispatch}), and cross-core scavenger
+    work stealing.
+
+    Stepping is deterministic: the machine always steps the runnable
+    core with the smallest local clock (lowest id on ties), so the
+    interleaving — and with it every shared-L3 admission decision and
+    steal — is a pure function of the configuration and the request
+    trace. Same seed, same config ⇒ bit-identical per-core cycle and
+    steal counts. *)
+
+open Stallhide_cpu
+open Stallhide_mem
+open Stallhide_runtime
+open Stallhide_sched
+
+type config = {
+  cores : int;
+  memcfg : Memconfig.t;
+  l3_window : int;  (** shared-L3 port window, cycles *)
+  l3_budget : int;  (** below-L2 services admitted per window; <= 0 unlimited *)
+  core : Core_sched.config;  (** per-core scheduler/engine config *)
+  steal : bool;  (** enable cross-core scavenger stealing *)
+  max_cycles : int;
+}
+
+(** 4 cores, default memory geometry, window 32 / budget 16,
+    [Core_sched.default_config], stealing on. *)
+val default_config : config
+
+type request = {
+  rid : int;
+  key : int;
+  home : int;  (** key-hash home shard *)
+  arrival : int;
+  ctx : Context.t;
+  mutable served_by : int;  (** dispatch decision; -1 before release *)
+  mutable finished_at : int;  (** -1 until completion *)
+}
+
+val request : rid:int -> key:int -> home:int -> arrival:int -> Context.t -> request
+
+type core_result = {
+  core_id : int;
+  cycles : int;  (** this core's final local clock *)
+  stats : Core_sched.stats;
+  mem : Mem_stats.t;
+  stream : Stallhide_obs.Stream.t;
+  sojourns : int list;  (** completion - arrival, for requests finished here *)
+  faults : string list;
+}
+
+type result = {
+  cycles : int;  (** makespan: max core clock *)
+  completed : int;
+  faulted : int;
+  per_core : core_result array;
+  steals : int;
+  donations : int;
+  l3 : Shared_l3.stats;
+  summary : Latency.summary;  (** per-core summaries merged *)
+}
+
+(** [run ~config ~policy ~mem ~requests ~scavengers ()] serves
+    [requests] (sorted by arrival; released when the machine clock
+    reaches each arrival, steered by [policy] over live queue depths)
+    with [scavengers.(i)] seeded into core [i]'s pool. All contexts
+    must address [mem]. Returns when every request has completed or
+    faulted, or at [max_cycles]. Scavenger leftovers are not drained —
+    the makespan is request-serving time.
+    @raise Invalid_argument on unsorted requests, a scavenger array of
+    the wrong length, or [cores <= 0]. *)
+val run :
+  ?config:config ->
+  policy:Dispatch.policy ->
+  mem:Address_space.t ->
+  requests:request list ->
+  scavengers:Context.t list array ->
+  unit ->
+  result
+
+(** Throughput in completed requests per kilocycle. *)
+val throughput : result -> float
+
+(** [counters_into reg r] publishes per-core counters under the
+    ["core<i>."] namespace (dispatches, steals, switch cycles, cache
+    hits, ...) plus machine-wide ["l3.*"] counters, so
+    {!Stallhide_obs.Registry.namespace_json} renders both views. *)
+val counters_into : Stallhide_obs.Registry.t -> result -> unit
