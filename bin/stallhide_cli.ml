@@ -892,12 +892,127 @@ let smp_cmd =
           scaling vs a single core.")
     term
 
+(* fuzz *)
+
+let fuzz_cmd =
+  let module Check = Stallhide_check in
+  let module J = Stallhide_util.Json in
+  let fuzz cases seed oracles no_shrink json repro_dir replay =
+    match replay with
+    | Some path ->
+        (* replay a saved counterexample and report its verdict *)
+        let repro =
+          try Check.Repro.load path
+          with Sys_error m | Invalid_argument m ->
+            Printf.eprintf "stallhide: cannot load repro %s: %s\n" path m;
+            exit 2
+        in
+        let verdict = Check.Repro.replay repro in
+        if json then
+          print_endline
+            (J.to_string_pretty
+               (J.Obj
+                  [
+                    ("repro", J.String path);
+                    ("oracle", J.String (Check.Oracle.to_string repro.Check.Repro.oracle));
+                    ("seed", J.Int repro.Check.Repro.cfg.Check.Gen.seed);
+                    ("verdict", J.String (Check.Oracle.verdict_to_string verdict));
+                    ( "reproduced",
+                      J.Bool
+                        (match verdict with Check.Oracle.Counterexample _ -> true | _ -> false)
+                    );
+                  ]))
+        else
+          Printf.printf "replay %s [%s]: %s\n" path
+            (Check.Oracle.to_string repro.Check.Repro.oracle)
+            (Check.Oracle.verdict_to_string verdict);
+        (* a replay that still fails exits 1, like the campaign *)
+        (match verdict with Check.Oracle.Counterexample _ -> exit 1 | _ -> ())
+    | None ->
+        let oracles =
+          match oracles with
+          | [] | [ "all" ] -> Check.Oracle.all
+          | names ->
+              List.map
+                (fun n ->
+                  match Check.Oracle.of_string n with
+                  | Some o -> o
+                  | None ->
+                      Printf.eprintf
+                        "stallhide: unknown oracle %S (available: primary, scavenger, smp, \
+                         fault, mutant, all)\n"
+                        n;
+                      exit 2)
+                names
+        in
+        let opts =
+          {
+            Check.Fuzz.cases;
+            seed;
+            oracles;
+            shrink = not no_shrink;
+            repro_dir;
+          }
+        in
+        let report = Check.Fuzz.run opts in
+        if json then print_endline (J.to_string_pretty (Check.Fuzz.report_to_json report))
+        else Format.printf "%a" Check.Fuzz.pp_report report;
+        if not (Check.Fuzz.ok report) then exit 1
+  in
+  let cases_arg =
+    Arg.(value & opt int Check.Fuzz.default_opts.Check.Fuzz.cases
+         & info [ "cases" ] ~docv:"N" ~doc:"Generated cases per oracle.")
+  in
+  let seed_arg =
+    Arg.(value & opt int Check.Fuzz.default_opts.Check.Fuzz.seed
+         & info [ "seed" ] ~docv:"SEED"
+             ~doc:"First seed; case $(i,i) uses SEED+$(i,i). Same seed, same campaign.")
+  in
+  let oracle_arg =
+    Arg.(value & opt_all string []
+         & info [ "oracle" ] ~docv:"NAME"
+             ~doc:
+               "Oracle(s) to run: $(b,primary), $(b,scavenger), $(b,smp), $(b,fault), \
+                $(b,mutant) (deliberately broken pass, for shrinker demos), or $(b,all) \
+                (the four real ones). Repeatable; default all.")
+  in
+  let no_shrink_arg =
+    Arg.(value & flag
+         & info [ "no-shrink" ] ~doc:"Report counterexamples without minimizing them.")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the campaign report as JSON.")
+  in
+  let repro_dir_arg =
+    Arg.(value & opt (some string) None
+         & info [ "repro-dir" ] ~docv:"DIR"
+             ~doc:"Write a replayable JSON repro file per counterexample under $(docv).")
+  in
+  let replay_arg =
+    Arg.(value & opt (some string) None
+         & info [ "replay" ] ~docv:"FILE"
+             ~doc:"Replay one saved repro file instead of running a campaign.")
+  in
+  let term =
+    Term.(
+      const fuzz $ cases_arg $ seed_arg $ oracle_arg $ no_shrink_arg $ json_arg
+      $ repro_dir_arg $ replay_arg)
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential/metamorphic fuzzing of the instrumentation passes: generated \
+          programs run uninstrumented vs instrumented (and 1-core vs N-core, clean vs \
+          fault-injected); any architectural-state divergence is shrunk to a minimal \
+          replayable counterexample.")
+    term
+
 let () =
   let doc = "hide L2/L3-miss stalls in software: coroutines + profile-guided yields" in
   let info = Cmd.info "stallhide" ~version:"1.0.0" ~doc in
   let group =
     Cmd.group info
-      [ run_cmd; disasm_cmd; instrument_cmd; lint_cmd; profile_cmd; trace_cmd; inject_cmd; smp_cmd ]
+      [ run_cmd; disasm_cmd; instrument_cmd; lint_cmd; profile_cmd; trace_cmd; inject_cmd; smp_cmd; fuzz_cmd ]
   in
   (* Fail-fast contract of the pipeline: a rewrite the verifier rejects
      never runs. Render the diagnostics instead of a backtrace. *)

@@ -82,8 +82,12 @@ let run opts prog =
   in
   (* Fixpoint: incoming distance of a block is the max over predecessor
      outgoing distances. The planned set only grows, so this terminates;
-     cap iterations defensively. *)
-  let max_iters = (2 * nb) + 8 in
+     cap iterations defensively. The cap must leave room for a yield-free
+     cycle's distance to actually cross the target — it grows by at least
+     one cycle per iteration around a back edge, so a cap proportional to
+     the target is needed before the planner sees that a short loop (body
+     cost << target) is unbounded and plants a yield in it. *)
+  let max_iters = (2 * nb) + opts.target_interval + 8 in
   let iter = ref 0 in
   let changed = ref true in
   while !changed && !iter < max_iters do

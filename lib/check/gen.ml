@@ -1,0 +1,245 @@
+open Stallhide_isa
+open Stallhide_mem
+open Stallhide_workloads
+open Stallhide_util
+
+type cfg = {
+  lanes : int;
+  ops : int;
+  ptr_nodes : int;
+  data_words : int;
+  max_loop : int;
+  stores : bool;
+  cores : int;
+  scavenger_interval : int;
+  policy_ix : int;
+  seed : int;
+}
+
+let default_cfg =
+  {
+    lanes = 3;
+    ops = 3;
+    ptr_nodes = 24;
+    data_words = 48;
+    max_loop = 3;
+    stores = true;
+    cores = 3;
+    scavenger_interval = 60;
+    policy_ix = 0;
+    seed = 42;
+  }
+
+type case = { cfg : cfg; program : Program.t }
+
+(* Register convention (see the .mli). *)
+let ptr_base = Reg.r0
+let data_base = Reg.r1
+let ptr_regs = [| Reg.r2; Reg.r3 |]
+let data_regs = [| Reg.r4; Reg.r5; Reg.r6; Reg.r7 |]
+let loop_counters = [| Reg.r8; Reg.r9 |]
+
+let pick st a = a.(Random.State.int st (Array.length a))
+
+(* --- program generation --- *)
+
+let program cfg =
+  let st = Random.State.make [| cfg.seed; 0xC4EC; cfg.lanes; cfg.ops |] in
+  let b = Builder.create () in
+  let budget = ref (24 * cfg.ops) in
+  let spend n = budget := !budget - n in
+  let word_disp st words = 8 * Random.State.int st (max 1 words) in
+  let alu () =
+    spend 1;
+    let rd = pick st data_regs in
+    match Random.State.int st 10 with
+    | 0 | 1 ->
+        (* div/rem: nonzero immediate only — a zero divisor traps *)
+        let op = if Random.State.bool st then Instr.Div else Instr.Rem in
+        Builder.binop b op rd (pick st data_regs) (Instr.Imm (1 + Random.State.int st 7))
+    | 2 | 3 ->
+        let op = if Random.State.bool st then Instr.Shl else Instr.Shr in
+        Builder.binop b op rd (pick st data_regs) (Instr.Imm (Random.State.int st 7))
+    | n ->
+        let op =
+          match n with
+          | 4 -> Instr.Sub
+          | 5 -> Instr.Mul
+          | 6 -> Instr.And
+          | 7 -> Instr.Or
+          | 8 -> Instr.Xor
+          | _ -> Instr.Add
+        in
+        let operand =
+          if Random.State.bool st then Instr.Reg (pick st data_regs)
+          else Instr.Imm (Random.State.int st 72 - 8)
+        in
+        Builder.binop b op rd (pick st data_regs) operand
+  in
+  let data_load () =
+    spend 1;
+    Builder.load b (pick st data_regs) data_base (word_disp st cfg.data_words)
+  in
+  let ptr_load () =
+    spend 1;
+    (* arena words hold node bases, so the chase stays in the arena *)
+    let src = if Random.State.int st 3 = 0 then ptr_base else pick st ptr_regs in
+    Builder.load b (pick st ptr_regs) src (word_disp st 8)
+  in
+  let store () =
+    spend 1;
+    let v = if Random.State.int st 4 = 0 then pick st ptr_regs else pick st data_regs in
+    Builder.store b data_base (word_disp st cfg.data_words) v
+  in
+  let movi () =
+    spend 1;
+    Builder.movi b (pick st data_regs) (Random.State.int st 256)
+  in
+  let rec stmt depth =
+    match Random.State.int st 16 with
+    | 0 | 1 | 2 | 3 -> alu ()
+    | 4 | 5 | 6 -> data_load ()
+    | 7 | 8 | 9 -> ptr_load ()
+    | 10 | 11 -> if cfg.stores then store () else data_load ()
+    | 12 -> movi ()
+    | 13 when !budget > 4 -> branch depth
+    | 14 when depth < Array.length loop_counters && !budget > 6 -> loop depth
+    | _ -> alu ()
+  and block depth =
+    let n = 1 + Random.State.int st 3 in
+    for _ = 1 to n do
+      stmt depth
+    done
+  and branch depth =
+    spend 1;
+    let cond = pick st [| Instr.Eq; Instr.Ne; Instr.Lt; Instr.Le; Instr.Gt; Instr.Ge |] in
+    let operand =
+      if Random.State.bool st then Instr.Reg (pick st data_regs)
+      else Instr.Imm (Random.State.int st 5 - 2)
+    in
+    let skip = Builder.fresh b "skip" in
+    Builder.branch b cond (pick st data_regs) operand skip;
+    block depth;
+    Builder.label b skip
+  and loop depth =
+    spend 3;
+    (* counted-down loop on a reserved register the body never writes *)
+    let rc = loop_counters.(depth) in
+    let trips = 1 + Random.State.int st (max 1 cfg.max_loop) in
+    let head = Builder.fresh b "loop" in
+    Builder.movi b rc trips;
+    Builder.label b head;
+    block (depth + 1);
+    Builder.addi b rc rc (-1);
+    Builder.branch b Instr.Gt rc (Instr.Imm 0) head
+  in
+  for _ = 1 to cfg.ops do
+    let n = 3 + Random.State.int st 5 in
+    for _ = 1 to n do
+      stmt 0
+    done;
+    Builder.opmark b
+  done;
+  Builder.halt b;
+  Builder.assemble b
+
+(* --- per-seed configuration sampling --- *)
+
+let case ?(base = default_cfg) ~seed () =
+  let st = Random.State.make [| seed; 0xCA5E |] in
+  let cfg =
+    {
+      base with
+      lanes = 1 + Random.State.int st 4;
+      ops = 1 + Random.State.int st 4;
+      ptr_nodes = 8 + (8 * Random.State.int st 7);
+      data_words = 16 + (8 * Random.State.int st 12);
+      max_loop = 1 + Random.State.int st 3;
+      cores = 2 + Random.State.int st 3;
+      scavenger_interval = 30 + Random.State.int st 90;
+      policy_ix = Random.State.int st 3;
+      seed;
+    }
+  in
+  { cfg; program = program cfg }
+
+(* --- image + lanes --- *)
+
+let workload ?prog cfg =
+  let prog = match prog with Some p -> p | None -> program cfg in
+  let line = 64 in
+  let bytes = (cfg.ptr_nodes * line) + (cfg.lanes * cfg.data_words * 8) + (cfg.lanes * line) + 4096 in
+  let image = Address_space.create ~bytes in
+  let st = Random.State.make [| cfg.seed; 0xA11; cfg.ptr_nodes |] in
+  let arena = Address_space.alloc image ~bytes:(cfg.ptr_nodes * line) in
+  let node i = arena + (line * i) in
+  (* closure invariant: every arena word is some node's base address *)
+  for w = 0 to (cfg.ptr_nodes * 8) - 1 do
+    Address_space.store image (arena + (8 * w)) (node (Random.State.int st cfg.ptr_nodes))
+  done;
+  let lanes =
+    Array.init cfg.lanes (fun _ ->
+        let data = Address_space.alloc image ~bytes:(cfg.data_words * 8) in
+        for w = 0 to cfg.data_words - 1 do
+          Address_space.store image (data + (8 * w)) (Random.State.int st 4096)
+        done;
+        [
+          (ptr_base, node (Random.State.int st cfg.ptr_nodes));
+          (data_base, data);
+          (ptr_regs.(0), node (Random.State.int st cfg.ptr_nodes));
+          (ptr_regs.(1), node (Random.State.int st cfg.ptr_nodes));
+          (data_regs.(0), 1 + Random.State.int st 512);
+          (data_regs.(1), 1 + Random.State.int st 512);
+          (data_regs.(2), 1 + Random.State.int st 512);
+          (data_regs.(3), 1 + Random.State.int st 512);
+        ])
+  in
+  {
+    Workload.name = Printf.sprintf "check-gen-%d" cfg.seed;
+    program = prog;
+    image;
+    lanes;
+    ops_per_lane = cfg.ops;
+    reset = Workload.no_reset;
+  }
+
+(* --- cfg <-> json (repro files) --- *)
+
+let cfg_to_json cfg =
+  Json.Obj
+    [
+      ("lanes", Json.Int cfg.lanes);
+      ("ops", Json.Int cfg.ops);
+      ("ptr_nodes", Json.Int cfg.ptr_nodes);
+      ("data_words", Json.Int cfg.data_words);
+      ("max_loop", Json.Int cfg.max_loop);
+      ("stores", Json.Bool cfg.stores);
+      ("cores", Json.Int cfg.cores);
+      ("scavenger_interval", Json.Int cfg.scavenger_interval);
+      ("policy_ix", Json.Int cfg.policy_ix);
+      ("seed", Json.Int cfg.seed);
+    ]
+
+let cfg_of_json j =
+  let int name =
+    match Option.bind (Json.member name j) Json.to_int_opt with
+    | Some v -> v
+    | None -> invalid_arg (Printf.sprintf "Gen.cfg_of_json: missing int field %S" name)
+  in
+  let bool name =
+    match Json.member name j with
+    | Some (Json.Bool b) -> b
+    | _ -> invalid_arg (Printf.sprintf "Gen.cfg_of_json: missing bool field %S" name)
+  in
+  {
+    lanes = int "lanes";
+    ops = int "ops";
+    ptr_nodes = int "ptr_nodes";
+    data_words = int "data_words";
+    max_loop = int "max_loop";
+    stores = bool "stores";
+    cores = int "cores";
+    scavenger_interval = int "scavenger_interval";
+    policy_ix = int "policy_ix";
+    seed = int "seed";
+  }

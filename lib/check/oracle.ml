@@ -1,0 +1,273 @@
+open Stallhide_isa
+open Stallhide_cpu
+open Stallhide_mem
+open Stallhide_runtime
+open Stallhide_workloads
+open Stallhide_binopt
+open Stallhide
+open Stallhide_verify
+open Stallhide_sched
+open Stallhide_smp
+open Stallhide_faults
+
+type name = Primary | Scavenger | Smp | Fault | Mutant
+
+let all = [ Primary; Scavenger; Smp; Fault ]
+
+let to_string = function
+  | Primary -> "primary"
+  | Scavenger -> "scavenger"
+  | Smp -> "smp"
+  | Fault -> "fault"
+  | Mutant -> "mutant"
+
+let of_string = function
+  | "primary" -> Some Primary
+  | "scavenger" -> Some Scavenger
+  | "smp" -> Some Smp
+  | "fault" -> Some Fault
+  | "mutant" -> Some Mutant
+  | _ -> None
+
+type verdict = Pass | Counterexample of string | Invalid of string
+
+let verdict_to_string = function
+  | Pass -> "pass"
+  | Counterexample m -> "counterexample: " ^ m
+  | Invalid m -> "invalid: " ^ m
+
+exception Cex of string
+exception Inv of string
+
+let budget = 4_000_000
+
+(* Synthetic estimates: every load looks miss-prone, so the primary
+   pass instruments densely (policy permitting) without needing a
+   profiling run per fuzz case. Semantics must hold for *any*
+   estimates, so constants are as good an adversary as a profile. *)
+let estimates =
+  {
+    Gain_cost.miss_probability = (fun _ -> Some 0.9);
+    stall_per_miss = (fun _ -> Some 160.0);
+  }
+
+let policy_of_ix = function
+  | 0 -> Gain_cost.Always
+  | 1 -> Gain_cost.Cost_benefit
+  | _ -> Gain_cost.Threshold 0.3
+
+type arm = { state : State.t; cycles : int }
+
+(* A fault in an *instrumented* arm is a counterexample (the rewrite
+   introduced a trap); a fault in the uninstrumented reference means
+   the case itself is malformed (e.g. a shrink candidate that lost its
+   [halt]), which must read as Invalid or the shrinker could "minimize"
+   a miscompile into a program that merely runs off the end. *)
+let finish ?(fault_is_invalid = false) label (r : Scheduler.result) ~mem ctxs total =
+  (match r.Scheduler.faults with
+  | m :: _ ->
+      let msg = Printf.sprintf "%s: context faulted: %s" label m in
+      raise (if fault_is_invalid then Inv msg else Cex msg)
+  | [] -> ());
+  if r.Scheduler.completed < total then
+    raise
+      (Inv
+         (Printf.sprintf "%s: %d/%d contexts completed within %d cycles" label
+            r.Scheduler.completed total budget));
+  { state = State.capture ~mem ctxs; cycles = r.Scheduler.cycles }
+
+(* Every arm rebuilds its workload from the cfg — runs mutate the image. *)
+let run_seq ?fault_is_invalid label cfg prog =
+  let wl = Gen.workload ~prog cfg in
+  let ctxs = Workload.contexts ~mode:Context.Primary wl in
+  let hier = Hierarchy.create Memconfig.default in
+  let r = Scheduler.run_sequential ~max_cycles:budget hier wl.Workload.image ctxs in
+  finish ?fault_is_invalid label r ~mem:wl.Workload.image ctxs (Array.length ctxs)
+
+(* The uninstrumented sequential reference of the differential pairs. *)
+let reference cfg prog = run_seq ~fault_is_invalid:true "reference" cfg prog
+
+let run_rr label ?(mode = Context.Primary) ?prepare ?extra cfg prog =
+  let wl = Gen.workload ~prog cfg in
+  let ctxs = Workload.contexts ~mode wl in
+  let extras = match extra with Some f -> f wl | None -> [||] in
+  let hier = Hierarchy.create Memconfig.default in
+  (match prepare with Some f -> f hier | None -> ());
+  let r =
+    Scheduler.run_round_robin ~max_cycles:budget ~switch:Switch_cost.coroutine hier
+      wl.Workload.image
+      (Array.append ctxs extras)
+  in
+  (* capture covers the lanes only: co-runners are timing noise *)
+  finish label r ~mem:wl.Workload.image ctxs (Array.length ctxs + Array.length extras)
+
+(* Metamorphic invariant: equal seeds are bit-identical (state *and*
+   clock), so every oracle runs its reference arm twice. *)
+let deterministic label run =
+  let a = run () in
+  let b = run () in
+  if a.cycles <> b.cycles then
+    raise
+      (Cex
+         (Printf.sprintf "%s: nondeterministic cycles under equal seeds (%d vs %d)" label
+            a.cycles b.cycles));
+  (match State.diff a.state b.state with
+  | Some d ->
+      raise (Cex (Printf.sprintf "%s: nondeterministic state under equal seeds: %s" label d))
+  | None -> ());
+  a
+
+let expect_equal ~ref_arm ~label arm =
+  match State.diff ref_arm.state arm.state with
+  | Some d -> raise (Cex (Printf.sprintf "%s diverges from reference: %s" label d))
+  | None -> ()
+
+let instrument_primary ?scavenger_interval cfg prog =
+  let primary =
+    { Primary_pass.default_opts with policy = policy_of_ix cfg.Gen.policy_ix }
+  in
+  try Pipeline.instrument_with ~estimates ~primary ?scavenger_interval prog
+  with Verify.Rejected outcome ->
+    raise
+      (Cex
+         (Printf.sprintf "verifier rejected instrumented rewrite (%d errors)"
+            (Verify.errors outcome)))
+
+(* --- oracles --- *)
+
+let check_primary cfg prog =
+  let ref_arm = deterministic "reference" (fun () -> reference cfg prog) in
+  let inst = instrument_primary cfg prog in
+  let arm = run_rr "instrumented" cfg inst.Pipeline.program in
+  expect_equal ~ref_arm ~label:"primary-instrumented round-robin" arm
+
+let check_scavenger cfg prog =
+  let ref_arm = deterministic "reference" (fun () -> reference cfg prog) in
+  let opts =
+    { Scavenger_pass.default_opts with target_interval = cfg.Gen.scavenger_interval }
+  in
+  let prog', orig_of_new, _report = Scavenger_pass.run opts prog in
+  let outcome =
+    Verify.validate ~orig:prog ~orig_of_new ~target_interval:cfg.Gen.scavenger_interval
+      prog'
+  in
+  if not (Verify.ok outcome) then
+    raise
+      (Cex
+         (Printf.sprintf "verifier rejected scavenger rewrite (%d errors)"
+            (Verify.errors outcome)));
+  let arm = run_rr "scavenger" ~mode:Context.Scavenger cfg prog' in
+  expect_equal ~ref_arm ~label:"scavenger-instrumented round-robin" arm
+
+(* One SMP arm: the instrumented lanes served as requests. Scavenger
+   co-runners (store-free by construction) are seeded into core 0 so
+   work stealing has something to move; they are excluded from the
+   capture and cannot touch lane state. *)
+let smp_arm label cfg prog ~cores =
+  let wl = Gen.workload ~prog cfg in
+  let policy = if cfg.Gen.policy_ix mod 2 = 0 then Dispatch.D_fcfs else Dispatch.Jbsq in
+  let lanes = Array.length wl.Workload.lanes in
+  let requests =
+    List.init lanes (fun i ->
+        let key = (7 * i) + 3 in
+        let ctx = Workload.context wl ~lane:i ~id:i ~mode:Context.Primary in
+        Machine.request ~rid:i ~key ~home:(Dispatch.home ~shards:cores key)
+          ~arrival:(i * 50) ctx)
+  in
+  let scav_cfg = { cfg with Gen.stores = false; seed = cfg.Gen.seed + 17; ops = 1 } in
+  let scav_prog = Gen.program scav_cfg in
+  let scavs =
+    List.init 2 (fun k ->
+        let ctx = Context.create ~id:(1000 + k) ~mode:Context.Scavenger scav_prog in
+        Context.set_regs ctx wl.Workload.lanes.(0);
+        ctx)
+  in
+  let scavengers = Array.init cores (fun i -> if i = 0 then scavs else []) in
+  let config = { Machine.default_config with cores; max_cycles = budget } in
+  let r = Machine.run ~config ~policy ~mem:wl.Workload.image ~requests ~scavengers () in
+  if r.Machine.faulted > 0 then
+    raise (Cex (Printf.sprintf "%s: %d request(s) faulted" label r.Machine.faulted));
+  if r.Machine.completed < lanes then
+    raise
+      (Inv
+         (Printf.sprintf "%s: %d/%d requests completed within %d cycles" label
+            r.Machine.completed lanes budget));
+  let ctxs = Array.of_list (List.map (fun (rq : Machine.request) -> rq.Machine.ctx) requests) in
+  { state = State.capture ~mem:wl.Workload.image ctxs; cycles = r.Machine.cycles }
+
+let check_smp cfg prog =
+  (* validity gate: the program must halt cleanly uninstrumented, else
+     the case (e.g. a shrink candidate that lost its [halt]) is Invalid *)
+  ignore (reference cfg prog);
+  let inst = instrument_primary cfg prog in
+  let prog' = inst.Pipeline.program in
+  let ref_arm =
+    deterministic "1-core machine" (fun () -> smp_arm "1-core machine" cfg prog' ~cores:1)
+  in
+  let arm = smp_arm "N-core machine" cfg prog' ~cores:cfg.Gen.cores in
+  expect_equal ~ref_arm
+    ~label:(Printf.sprintf "%d-core machine" cfg.Gen.cores)
+    arm
+
+let check_fault cfg prog =
+  (* validity gate, as in [check_smp] *)
+  ignore (reference cfg prog);
+  let inst = instrument_primary ~scavenger_interval:cfg.Gen.scavenger_interval cfg prog in
+  let prog' = inst.Pipeline.program in
+  let clean = deterministic "clean" (fun () -> run_rr "clean" cfg prog') in
+  let spike =
+    Faults.Spike
+      {
+        at = 200;
+        duration = 2_000 + (500 * (cfg.Gen.seed mod 5));
+        l3_mult = 4;
+        dram_mult = 8;
+      }
+  in
+  let spiked = run_rr "spiked" ~prepare:(Faults.prepare_hier spike) cfg prog' in
+  expect_equal ~ref_arm:clean ~label:"latency-spiked run" spiked;
+  if spiked.cycles < clean.cycles then
+    raise
+      (Cex
+         (Printf.sprintf
+            "latency spike sped the run up (%d cycles spiked vs %d clean) — timing may \
+             only degrade"
+            spiked.cycles clean.cycles));
+  let rogue_prog = Faults.rogue_program ~bursts:3 ~compute:400 () in
+  let rogues _wl =
+    Array.init 2 (fun k -> Context.create ~id:(900 + k) ~mode:Context.Scavenger rogue_prog)
+  in
+  let rogue_arm = run_rr "rogue" ~extra:rogues cfg prog' in
+  expect_equal ~ref_arm:clean ~label:"rogue-scavenger run" rogue_arm
+
+let clobber_loads prog =
+  Program.to_items prog
+  |> List.concat_map (fun item ->
+         match item with
+         | Program.Ins (Instr.Load (rd, _, _)) ->
+             [ item; Program.Ins (Instr.Mov (rd, Instr.Imm 0)) ]
+         | _ -> [ item ])
+  |> Program.assemble
+
+let check_mutant cfg prog =
+  let ref_arm = reference cfg prog in
+  let mutant = clobber_loads prog in
+  let arm = run_seq "mutant" cfg mutant in
+  expect_equal ~ref_arm ~label:"load-clobbering mutant" arm
+
+let check name cfg prog =
+  let f =
+    match name with
+    | Primary -> check_primary
+    | Scavenger -> check_scavenger
+    | Smp -> check_smp
+    | Fault -> check_fault
+    | Mutant -> check_mutant
+  in
+  match f cfg prog with
+  | () -> Pass
+  | exception Cex m -> Counterexample m
+  | exception Inv m -> Invalid m
+  | exception Program.Error m -> Invalid ("assembly failed: " ^ m)
+
+let check_case name (c : Gen.case) = check name c.Gen.cfg c.Gen.program

@@ -1,0 +1,57 @@
+(** End-to-end semantic oracles for the instrumentation passes.
+
+    Each oracle runs a generated case through two (or more) execution
+    arms that the paper claims are semantically equivalent, and
+    compares full architectural state ({!State}). Every oracle also
+    checks the metamorphic invariants on the way: the reference arm is
+    run twice and must be bit-identical (equal seeds ⇒ equal cycles and
+    state), and no arm of a verifier-clean program may trap.
+
+    - [Primary] — uninstrumented sequential vs {!Primary_pass}
+      prefetch+yield instrumented under round-robin interleaving;
+    - [Scavenger] — uninstrumented sequential vs scavenger-pass
+      conditional yields executed in scavenger mode under round-robin;
+    - [Smp] — instrumented lanes served as requests on a 1-core vs an
+      N-core {!Stallhide_smp.Machine} (sharded dispatch, shared L3,
+      scavenger co-runners on core 0 so stealing can fire);
+    - [Fault] — instrumented round-robin, clean vs under an injected
+      L3/DRAM latency spike and vs rogue scavenger co-runners: state
+      must be preserved and a spike may only {e degrade} timing;
+    - [Mutant] — a deliberately broken pass (clobbers every load's
+      destination register, the classic missed-context-restore bug).
+      It must always fail; it exists to prove the oracles can see
+      miscompiles and to demo the shrinker, and is therefore excluded
+      from {!all}. *)
+
+open Stallhide_isa
+
+type name = Primary | Scavenger | Smp | Fault | Mutant
+
+(** The four real oracles — the default fuzz campaign. *)
+val all : name list
+
+val to_string : name -> string
+
+val of_string : string -> name option
+
+type verdict =
+  | Pass
+  | Counterexample of string  (** semantic divergence — a real finding *)
+  | Invalid of string
+      (** the case could not be evaluated (assembly failure or budget
+          exhaustion) — distinct from [Counterexample] so the shrinker
+          never "minimizes" a miscompile into an infinite loop *)
+
+val verdict_to_string : verdict -> string
+
+(** [check name cfg prog] runs the oracle on [prog] in the environment
+    described by [cfg] (fresh image per arm). [prog] is explicit so the
+    shrinker and repro replay can substitute a reduced program. *)
+val check : name -> Gen.cfg -> Program.t -> verdict
+
+val check_case : name -> Gen.case -> verdict
+
+(** The [Mutant] oracle's miscompile: inserts [mov rd, 0] after every
+    load (destroying the loaded value), exposed so tests can build the
+    broken binary directly. *)
+val clobber_loads : Program.t -> Program.t

@@ -1,0 +1,54 @@
+open Stallhide_isa
+open Stallhide_util
+
+type t = { oracle : Oracle.name; cfg : Gen.cfg; program_text : string; detail : string }
+
+let make ~oracle ~cfg ~program ~detail =
+  { oracle; cfg; program_text = Format.asprintf "%a" Program.pp program; detail }
+
+let program t = Asm.parse t.program_text
+
+let to_json t =
+  Json.Obj
+    [
+      ("oracle", Json.String (Oracle.to_string t.oracle));
+      ("cfg", Gen.cfg_to_json t.cfg);
+      ("program", Json.String t.program_text);
+      ("detail", Json.String t.detail);
+    ]
+
+let of_json j =
+  let str name =
+    match Option.bind (Json.member name j) Json.to_string_opt with
+    | Some s -> s
+    | None -> invalid_arg (Printf.sprintf "Repro.of_json: missing field %S" name)
+  in
+  let oracle =
+    match Oracle.of_string (str "oracle") with
+    | Some o -> o
+    | None -> invalid_arg (Printf.sprintf "Repro.of_json: unknown oracle %S" (str "oracle"))
+  in
+  let cfg =
+    match Json.member "cfg" j with
+    | Some c -> Gen.cfg_of_json c
+    | None -> invalid_arg "Repro.of_json: missing field \"cfg\""
+  in
+  { oracle; cfg; program_text = str "program"; detail = str "detail" }
+
+let save ~dir t =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let path =
+    Filename.concat dir
+      (Printf.sprintf "repro-%s-seed%d.json" (Oracle.to_string t.oracle) t.cfg.Gen.seed)
+  in
+  Json.write ~path (to_json t);
+  path
+
+let load path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  of_json (Json.of_string s)
+
+let replay t = Oracle.check t.oracle t.cfg (program t)

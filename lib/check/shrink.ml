@@ -1,0 +1,73 @@
+open Stallhide_isa
+
+let instruction_count items =
+  List.length (List.filter (function Program.Ins _ -> true | Program.Label _ -> false) items)
+
+let drop_range items ~at ~len =
+  List.filteri (fun j _ -> j < at || j >= at + len) items
+
+(* ddmin-lite: try deleting [chunk]-sized windows; on success restart at
+   the shrunken list, otherwise halve the chunk. Terminates because the
+   list length strictly decreases or the chunk does. *)
+let rec delete_pass ~test items chunk =
+  if chunk < 1 then items
+  else begin
+    let n = List.length items in
+    let rec scan at =
+      if at >= n then None
+      else
+        let cand = drop_range items ~at ~len:chunk in
+        if cand <> [] && test cand then Some cand else scan (at + chunk)
+    in
+    match scan 0 with
+    | Some cand -> delete_pass ~test cand (min chunk (List.length cand))
+    | None -> delete_pass ~test items (chunk / 2)
+  end
+
+(* Candidate simpler replacements for one instruction, simplest first. *)
+let simpler = function
+  | Instr.Mov (rd, Instr.Imm k) when k <> 0 && k <> 1 ->
+      [ Instr.Mov (rd, Instr.Imm 0); Instr.Mov (rd, Instr.Imm 1) ]
+  | Instr.Mov (rd, Instr.Reg _) -> [ Instr.Mov (rd, Instr.Imm 0) ]
+  | Instr.Load (rd, rs, d) when d <> 0 -> [ Instr.Load (rd, rs, 0) ]
+  | Instr.Store (rs, d, rv) when d <> 0 -> [ Instr.Store (rs, 0, rv) ]
+  | Instr.Prefetch (rs, d) when d <> 0 -> [ Instr.Prefetch (rs, 0) ]
+  | Instr.Binop (op, rd, rs, Instr.Imm k) when k <> 0 && k <> 1 ->
+      [ Instr.Binop (op, rd, rs, Instr.Imm 1) ]
+  | Instr.Binop (op, rd, rs, Instr.Reg _) -> [ Instr.Binop (op, rd, rs, Instr.Imm 1) ]
+  | _ -> []
+
+let replace items ~at ins =
+  List.mapi (fun j item -> if j = at then Program.Ins ins else item) items
+
+let simplify_pass ~test items =
+  let changed = ref true in
+  let items = ref items in
+  while !changed do
+    changed := false;
+    let arr = Array.of_list !items in
+    Array.iteri
+      (fun at item ->
+        match item with
+        | Program.Label _ -> ()
+        | Program.Ins ins ->
+            List.iter
+              (fun cand ->
+                if (not !changed) && cand <> ins then begin
+                  let cand_items = replace !items ~at cand in
+                  if test cand_items then begin
+                    items := cand_items;
+                    changed := true
+                  end
+                end)
+              (simpler ins))
+      arr
+  done;
+  !items
+
+let minimize ~test items =
+  let items = delete_pass ~test items (max 1 (List.length items / 2)) in
+  let items = simplify_pass ~test items in
+  (* operand simplification can unlock further deletions (a loop shrunk
+     to one trip lets its counter bookkeeping go) — one more round *)
+  delete_pass ~test items (max 1 (List.length items / 2))

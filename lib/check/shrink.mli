@@ -1,0 +1,24 @@
+(** Greedy counterexample minimization over assembler item lists.
+
+    [minimize ~test items] assumes [test items = true] ("still fails")
+    and returns a locally minimal sublist that still satisfies [test].
+    [test] must treat candidates it cannot evaluate (unassemblable
+    programs, budget blow-ups) as [false] — the shrinker itself knows
+    nothing about validity.
+
+    Strategy, in order, to a fixpoint:
+    + ddmin-style chunk deletion (halving chunk sizes down to single
+      items), which also sheds labels whose branches went with them;
+    + per-instruction operand simplification (immediates toward 0/1,
+      displacements toward 0) — this is what turns a 3-trip loop into a
+      1-trip one.
+
+    Deterministic: same input and test, same output. *)
+
+open Stallhide_isa
+
+val minimize : test:(Program.item list -> bool) -> Program.item list -> Program.item list
+
+(** Instructions in the list ([Label]s excluded) — the size the
+    acceptance bound ("shrinks to <= 5 instructions") is measured in. *)
+val instruction_count : Program.item list -> int

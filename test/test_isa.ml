@@ -236,6 +236,20 @@ let qcheck_print_parse =
       let p = Asm.parse src in
       Instr.equal (Program.instr p 0) i)
 
+(* whole-program roundtrip: [Asm.parse] after [Program.pp] reproduces
+   the exact instruction stream (including symbolic branch targets) for
+   arbitrary well-formed programs drawn from the lib/check generator *)
+let qcheck_program_print_parse =
+  QCheck.Test.make ~name:"Program.pp/Asm.parse roundtrip (generated programs)" ~count:200
+    (QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 1_000_000))
+    (fun seed ->
+      let case = Stallhide_check.Gen.case ~seed () in
+      let p = case.Stallhide_check.Gen.program in
+      let p' = Asm.parse (Format.asprintf "%a" Program.pp p) in
+      let instrs prog = List.init (Program.length prog) (Program.instr prog) in
+      Program.length p = Program.length p'
+      && List.for_all2 Instr.equal (instrs p) (instrs p'))
+
 let () =
   Alcotest.run "isa"
     [
@@ -261,5 +275,6 @@ let () =
           Alcotest.test_case "errors" `Quick test_asm_errors;
           Alcotest.test_case "error line numbers" `Quick test_asm_error_lines;
           QCheck_alcotest.to_alcotest qcheck_print_parse;
+          QCheck_alcotest.to_alcotest qcheck_program_print_parse;
         ] );
     ]

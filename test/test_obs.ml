@@ -136,6 +136,96 @@ let test_stream_drop_accounting () =
   Obs.Stream.reset s;
   Alcotest.(check int) "reset clears" 0 (Obs.Stream.length s + Obs.Stream.dropped s)
 
+(* --- Golden-file regression for the Perfetto exporter ---
+
+   A hand-authored stream covering every branch of the event mapping
+   (dispatch spans, fired/skipped yields, a stall-free hit that must be
+   dropped, Stall/Frontend_stall that must be dropped, switches,
+   escalations, watchdog verdicts, thread-name metadata) is exported and
+   compared *structurally* against test/golden/perfetto_small.json:
+   object fields compare as sets, so a formatting or field-order change
+   is not a regression, while any added/removed/retyped field or event
+   is, with the JSON path of the first divergence in the failure.
+
+   To bless a deliberate exporter change:
+     STALLHIDE_BLESS=$PWD/test/golden/perfetto_small.json \
+       dune exec test/test_obs.exe -- test golden *)
+
+let golden_stream () =
+  let s = Obs.Stream.create () in
+  let record = Obs.Stream.record s in
+  record (Obs.Event.Dispatch { ctx = 0; start = 10; stop = 42 });
+  record
+    (Obs.Event.Yield
+       { ctx = 0; pc = 3; kind = Stallhide_isa.Instr.Primary; fired = true; cycle = 17 });
+  record
+    (Obs.Event.Yield
+       { ctx = 1; pc = 9; kind = Stallhide_isa.Instr.Scavenger; fired = false; cycle = 21 });
+  record
+    (Obs.Event.Cache_access
+       { ctx = 1; pc = 4; addr = 512; level = Hierarchy.Dram; stall = 180; cycle = 23 });
+  (* a hit (stall = 0) and raw stalls: all dropped by the exporter *)
+  record
+    (Obs.Event.Cache_access
+       { ctx = 1; pc = 5; addr = 576; level = Hierarchy.L1; stall = 0; cycle = 24 });
+  record (Obs.Event.Stall { ctx = 0; pc = 6; cycles = 7; cycle = 25 });
+  record (Obs.Event.Frontend_stall { ctx = 0; pc = 6; cycles = 2; cycle = 26 });
+  record
+    (Obs.Event.Context_switch { from_ctx = 0; to_ctx = 1; at_pc = 3; cost = 24; cycle = 42 });
+  record (Obs.Event.Op_retired { ctx = 1; pc = 12; cycle = 55 });
+  record (Obs.Event.Scavenger_escalation { ctx = 2; pc = 8; cycle = 60 });
+  record (Obs.Event.Watchdog { ctx = 2; action = Obs.Event.Demote; cycle = 61 });
+  record (Obs.Event.Dispatch { ctx = 1; start = 44; stop = 70 });
+  s
+
+(* First structural difference between two JSON values, as a path. *)
+let rec json_diff path a b =
+  match (a, b) with
+  | Json.Obj xs, Json.Obj ys ->
+      let keys l = List.map fst l |> List.sort compare in
+      if keys xs <> keys ys then
+        Some
+          (Printf.sprintf "%s: fields {%s} vs {%s}" path
+             (String.concat "," (keys xs))
+             (String.concat "," (keys ys)))
+      else
+        List.fold_left
+          (fun acc (k, v) ->
+            match acc with
+            | Some _ -> acc
+            | None -> json_diff (path ^ "." ^ k) v (List.assoc k ys))
+          None xs
+  | Json.List xs, Json.List ys ->
+      if List.length xs <> List.length ys then
+        Some
+          (Printf.sprintf "%s: %d vs %d elements" path (List.length xs) (List.length ys))
+      else
+        List.fold_left
+          (fun acc (i, (x, y)) ->
+            match acc with
+            | Some _ -> acc
+            | None -> json_diff (Printf.sprintf "%s[%d]" path i) x y)
+          None
+          (List.mapi (fun i p -> (i, p)) (List.combine xs ys))
+  | x, y -> if x = y then None else Some (Printf.sprintf "%s: %s vs %s" path (Json.to_string x) (Json.to_string y))
+
+let test_perfetto_golden () =
+  let got = Obs.Perfetto.to_json (golden_stream ()) in
+  match Sys.getenv_opt "STALLHIDE_BLESS" with
+  | Some path when path <> "" -> Json.write ~path got
+  | _ -> (
+      (* dune runtest runs in test/; dune exec from the project root *)
+      let golden_path =
+        if Sys.file_exists "golden/perfetto_small.json" then "golden/perfetto_small.json"
+        else "test/golden/perfetto_small.json"
+      in
+      let ic = open_in golden_path in
+      let want = Json.of_string (really_input_string ic (in_channel_length ic)) in
+      close_in ic;
+      match json_diff "$" want got with
+      | None -> ()
+      | Some d -> Alcotest.fail ("exporter output diverges from golden file at " ^ d))
+
 let () =
   Alcotest.run "obs"
     [
@@ -147,6 +237,7 @@ let () =
         ] );
       ("registry", [ Alcotest.test_case "stream feeds registry" `Quick test_registry_counts ]);
       ("perfetto", [ Alcotest.test_case "round-trip + monotone" `Quick test_trace_json_roundtrip ]);
+      ("golden", [ Alcotest.test_case "perfetto exporter" `Quick test_perfetto_golden ]);
       ("attribution", [ Alcotest.test_case "invariants" `Quick test_attribution_invariants ]);
       ("stream", [ Alcotest.test_case "drop accounting" `Quick test_stream_drop_accounting ]);
     ]

@@ -82,6 +82,28 @@ let test_latency_merge_identical () =
   Alcotest.(check (float 1e-6)) "stddev unchanged" s.Latency.stddev m.Latency.stddev;
   Alcotest.(check int) "p99 unchanged" s.Latency.p99 m.Latency.p99
 
+(* merge [] and merge [s] pinned field by field: the empty merge is
+   exactly [empty_summary] and a singleton merge is the identity — not
+   just on headline percentiles but on every moment the summary carries *)
+let test_latency_merge_edges () =
+  let check_all label (exp : Latency.summary) (got : Latency.summary) =
+    Alcotest.(check int) (label ^ " count") exp.Latency.count got.Latency.count;
+    Alcotest.(check (float 1e-9)) (label ^ " mean") exp.Latency.mean got.Latency.mean;
+    Alcotest.(check (float 1e-9)) (label ^ " stddev") exp.Latency.stddev got.Latency.stddev;
+    Alcotest.(check int) (label ^ " p50") exp.Latency.p50 got.Latency.p50;
+    Alcotest.(check int) (label ^ " p90") exp.Latency.p90 got.Latency.p90;
+    Alcotest.(check int) (label ^ " p99") exp.Latency.p99 got.Latency.p99;
+    Alcotest.(check int) (label ^ " p999") exp.Latency.p999 got.Latency.p999;
+    Alcotest.(check int) (label ^ " max") exp.Latency.max got.Latency.max
+  in
+  check_all "empty merge" Latency.empty_summary (Latency.merge []);
+  check_all "all-empty merge" Latency.empty_summary
+    (Latency.merge [ Latency.summary []; Latency.summary [] ]);
+  let s = Latency.summary [ 3; 1; 4; 1; 5; 9; 2; 6 ] in
+  check_all "singleton identity" s (Latency.merge [ s ]);
+  check_all "singleton + empties identity" s
+    (Latency.merge [ Latency.summary []; s; Latency.summary [] ])
+
 (* --- Registry namespaces --- *)
 
 let test_registry_namespace () =
@@ -106,6 +128,38 @@ let test_registry_namespace () =
           Alcotest.(check (list string)) "per-core keys" [ "0"; "1" ] (List.map fst per)
       | _ -> Alcotest.fail "per is not an object")
   | _ -> Alcotest.fail "namespace_json is not an object"
+
+(* Namespace-collision behavior, pinned: matching is purely textual
+   ("<prefix><digits>.<name>"), so a counter from a *longer* prefix
+   ("corequeue2.depth") is invisible under "core" (non-digit after the
+   prefix), while a *numeric* continuation ("core12.steals" read with
+   prefix "core1") parses as index 2 of "core1" — consumers that nest
+   namespaces numerically must pick non-overlapping prefixes. *)
+let test_registry_namespace_collision () =
+  let module R = Stallhide_obs.Registry in
+  let reg = R.create () in
+  let bump name v = R.incr ~by:v (R.counter reg ~ctx:(-1) name) in
+  bump "core0.steals" 1;
+  bump "core12.steals" 4;
+  bump "corequeue2.depth" 9;
+  bump "core.steals" 11;
+  (* no index digits at all *)
+  bump "core3steals" 13;
+  (* digits but no dot *)
+  Alcotest.(check (list int)) "longer-prefix names invisible" [ 0; 12 ]
+    (R.namespace_indices reg ~prefix:"core");
+  Alcotest.(check int) "collision-free total" 5 (R.namespace_total reg ~prefix:"core" "steals");
+  Alcotest.(check (list string)) "only dotted digit names counted" [ "steals" ]
+    (R.namespace_names reg ~prefix:"core");
+  (* the sharp edge: "core12.steals" is a valid member of namespace
+     "core1" (index 2) — numeric prefixes overlap by construction *)
+  Alcotest.(check (list int)) "numeric continuation parses" [ 2 ]
+    (R.namespace_indices reg ~prefix:"core1");
+  Alcotest.(check int) "and is aggregated there" 4
+    (R.namespace_total reg ~prefix:"core1" "steals");
+  (* an unrelated namespace sees nothing *)
+  Alcotest.(check (list int)) "disjoint prefix empty" []
+    (R.namespace_indices reg ~prefix:"l3")
 
 (* --- Dispatch --- *)
 
@@ -285,8 +339,13 @@ let () =
         [
           Alcotest.test_case "pooled moments and percentiles" `Quick test_latency_merge;
           Alcotest.test_case "identical shards exact" `Quick test_latency_merge_identical;
+          Alcotest.test_case "empty and singleton merges" `Quick test_latency_merge_edges;
         ] );
-      ("registry", [ Alcotest.test_case "core namespaces" `Quick test_registry_namespace ]);
+      ( "registry",
+        [
+          Alcotest.test_case "core namespaces" `Quick test_registry_namespace;
+          Alcotest.test_case "namespace collisions" `Quick test_registry_namespace_collision;
+        ] );
       ( "dispatch",
         [
           Alcotest.test_case "key-hash home" `Quick test_dispatch_home;
