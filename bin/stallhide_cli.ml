@@ -110,8 +110,20 @@ let mechanism_arg =
   Arg.(value & opt (enum (List.map (fun m -> (m, m)) mechanisms)) "pgo"
        & info [ "m"; "mechanism" ] ~docv:"MECH" ~doc)
 
+(* A nonzero drop counter means the trace buffer wrapped: counters are
+   exact but the event timeline (and anything derived from it —
+   Perfetto tracks, attribution, critical paths) under-reports. Always
+   warn; silence would masquerade as a complete trace. *)
+let warn_dropped label stream =
+  let d = Stallhide_obs.Stream.dropped stream in
+  if d > 0 then
+    Printf.eprintf
+      "stallhide: warning: %s trace stream dropped %d event(s) (buffer full) — timeline-derived \
+       views are incomplete\n"
+      label d
+
 let run_cmd =
-  let run workload mechanism lanes ops seed policy interval json trace_out attribution
+  let run workload mechanism lanes ops seed policy interval json trace_out prom_out attribution
       no_verify =
     check_workload workload;
     if attribution && mechanism <> "pgo" then begin
@@ -120,7 +132,8 @@ let run_cmd =
     end;
     let module Obs = Stallhide_obs in
     let stream =
-      if json || trace_out <> None then Some (Obs.Stream.create ()) else None
+      if json || trace_out <> None || prom_out <> None then Some (Obs.Stream.create ())
+      else None
     in
     let opts = { Baselines.default_opts with Baselines.obs = stream } in
     let w manual = make_workload workload ~lanes ~ops ~manual ~seed in
@@ -171,8 +184,16 @@ let run_cmd =
            interval)\n"
           r.Scavenger_pass.uncovered_loops
     | _ -> ());
+    (match stream with Some s -> warn_dropped "run" s | None -> ());
     (match trace_out with
     | Some path -> write_file path (fun path -> Obs.Perfetto.write ~path (Option.get stream))
+    | None -> ());
+    (match prom_out with
+    | Some path ->
+        write_file path (fun path ->
+            let oc = open_out path in
+            output_string oc (Obs.Registry.to_prometheus (Obs.Stream.registry (Option.get stream)));
+            close_out oc)
     | None -> ());
     if json then begin
       let telemetry =
@@ -239,10 +260,15 @@ let run_cmd =
          & info [ "attribution" ]
              ~doc:"With --mechanism pgo: report per-yield-site predicted vs measured gain.")
   in
+  let prom_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "prom-out" ] ~docv:"FILE"
+             ~doc:"Write the run's counter registry in Prometheus text exposition format to $(docv).")
+  in
   let term =
     Term.(
       const run $ workload_arg $ mechanism_arg $ lanes_arg $ ops_arg $ seed_arg $ policy_arg
-      $ interval_arg $ json_arg $ trace_out_arg $ attribution_arg $ no_verify_arg)
+      $ interval_arg $ json_arg $ trace_out_arg $ prom_out_arg $ attribution_arg $ no_verify_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run a workload under a stall-hiding mechanism and print metrics.")
     term
@@ -752,6 +778,10 @@ let smp_cmd =
     let efficiency = Smp.Harness.efficiency ~base r in
     let reg = Obs.Registry.create () in
     Smp.Machine.counters_into reg r.Smp.Harness.result;
+    Array.iter
+      (fun (c : Smp.Machine.core_result) ->
+        warn_dropped (Printf.sprintf "core%d" c.Smp.Machine.core_id) c.Smp.Machine.stream)
+      r.Smp.Harness.result.Smp.Machine.per_core;
     (match trace_out with
     | Some path ->
         write_file path (fun path ->
@@ -892,6 +922,121 @@ let smp_cmd =
           scaling vs a single core.")
     term
 
+(* why *)
+
+let why_cmd =
+  let module Obs = Stallhide_obs in
+  let module Why = Stallhide_why.Why in
+  let module J = Stallhide_util.Json in
+  let why workload lanes ops seed repeats metric injection sweep critical json =
+    check_workload workload;
+    let metric =
+      match Obs.Sweep.metric_of_string metric with
+      | Some m -> m
+      | None ->
+          Printf.eprintf "stallhide: unknown metric %S (mean | p50 | p90 | p99 | p999)\n" metric;
+          exit 2
+    in
+    let injection =
+      match injection with
+      | None -> None
+      | Some s -> (
+          match Why.injection_of_string s with
+          | Ok i -> Some i
+          | Error msg ->
+              Printf.eprintf "stallhide: %s\n" msg;
+              exit 2)
+    in
+    if sweep && critical then begin
+      Printf.eprintf "stallhide: --sweep and --critical-path are mutually exclusive\n";
+      exit 2
+    end;
+    let cfg = { Why.workload; lanes; ops; seed; repeats; metric; injection } in
+    let emit mode payload = print_endline
+        (J.to_string_pretty
+           (J.Obj (("schema_version", J.Int 1) :: ("mode", J.String mode) :: payload)))
+    in
+    if sweep then begin
+      let r = Why.sweep cfg in
+      if json then emit "sweep" [ ("sweep", Obs.Sweep.to_json r) ]
+      else Format.printf "%a@." (Obs.Sweep.pp ~metric) r
+    end
+    else if critical then begin
+      match Why.critical cfg with
+      | Some c ->
+          if json then emit "critical" [ ("critical", Why.critical_to_json c) ]
+          else Format.printf "%a@." Why.pp_critical c
+      | None ->
+          Printf.eprintf
+            "stallhide: --critical-path decomposes the SMP kv-server run (got %S)\n" workload;
+          exit 2
+    end
+    else begin
+      let a = Why.analyze cfg in
+      if json then
+        emit "causal"
+          (match Why.analysis_to_json a with J.Obj fields -> fields | _ -> assert false)
+      else Format.printf "%a@." Why.pp_analysis a
+    end
+  in
+  let why_workload_arg =
+    let doc = "Workload: " ^ String.concat " | " workload_names ^ "." in
+    Arg.(value & opt string Why.default_config.Why.workload
+         & info [ "w"; "workload" ] ~docv:"NAME" ~doc)
+  in
+  let lanes_arg =
+    Arg.(value & opt int Why.default_config.Why.lanes
+         & info [ "lanes" ] ~docv:"N" ~doc:"Concurrent lanes (coroutines).")
+  in
+  let ops_arg =
+    Arg.(value & opt int Why.default_config.Why.ops
+         & info [ "ops" ] ~docv:"N"
+             ~doc:"Operations per lane (enough reuse to populate every cache level).")
+  in
+  let repeats_arg =
+    Arg.(value & opt int Why.default_config.Why.repeats
+         & info [ "repeats" ] ~docv:"N"
+             ~doc:"Seeds per arm (seed, seed+1, ...) for confidence intervals.")
+  in
+  let metric_arg =
+    Arg.(value & opt string "p99"
+         & info [ "metric" ] ~docv:"M" ~doc:"Ranking metric: mean | p50 | p90 | p99 | p999.")
+  in
+  let inject_arg =
+    Arg.(value & opt (some string) None
+         & info [ "inject" ] ~docv:"CAUSE"
+             ~doc:
+               "Inject a known ground-truth cause and report whether the causal table ranks it \
+                first: l3 | dram | site | spike:l3=N,dram=M.")
+  in
+  let sweep_arg =
+    Arg.(value & flag
+         & info [ "sweep" ]
+             ~doc:"One-factor-at-a-time sensitivity sweep over machine knobs instead of \
+                   counterfactual attribution.")
+  in
+  let critical_arg =
+    Arg.(value & flag
+         & info [ "critical-path" ]
+             ~doc:"Decompose per-request latency of the SMP kv-server run into queueing / \
+                   compute / stall / contention / switch / offcore.")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the report as JSON on stdout.")
+  in
+  let term =
+    Term.(
+      const why $ why_workload_arg $ lanes_arg $ ops_arg $ seed_arg $ repeats_arg $ metric_arg
+      $ inject_arg $ sweep_arg $ critical_arg $ json_arg)
+  in
+  Cmd.v
+    (Cmd.info "why"
+       ~doc:
+         "Causal performance debugging: rank memory levels and yield sites by their causal \
+          contribution to a latency metric (counterfactual re-runs), sweep machine knobs, or \
+          extract per-request critical paths.")
+    term
+
 (* fuzz *)
 
 let fuzz_cmd =
@@ -1012,7 +1157,7 @@ let () =
   let info = Cmd.info "stallhide" ~version:"1.0.0" ~doc in
   let group =
     Cmd.group info
-      [ run_cmd; disasm_cmd; instrument_cmd; lint_cmd; profile_cmd; trace_cmd; inject_cmd; smp_cmd; fuzz_cmd ]
+      [ run_cmd; disasm_cmd; instrument_cmd; lint_cmd; profile_cmd; trace_cmd; inject_cmd; smp_cmd; why_cmd; fuzz_cmd ]
   in
   (* Fail-fast contract of the pipeline: a rewrite the verifier rejects
      never runs. Render the diagnostics instead of a backtrace. *)

@@ -6,10 +6,20 @@ type config = {
   cond_check_cost : int;
   ooo_window : int;
   load_block_threshold : int option;
+  stall_shape : (pc:int -> stall:int -> int) option;
 }
 
 let default_config =
-  { hooks = Events.nop; cond_check_cost = 1; ooo_window = 0; load_block_threshold = None }
+  {
+    hooks = Events.nop;
+    cond_check_cost = 1;
+    ooo_window = 0;
+    load_block_threshold = None;
+    stall_shape = None;
+  }
+
+let shape_stall cfg ~pc stall =
+  match cfg.stall_shape with Some f -> max 0 (f ~pc ~stall) | None -> stall
 
 type stop =
   | Halted
@@ -80,10 +90,15 @@ let step cfg hier mem ~clock (ctx : Context.t) =
        OoO window, firing load/stall hooks. *)
     let demand_load addr =
       let r = Hierarchy.access hier ~now:!clock addr in
-      let hidden = min cfg.ooo_window r.stall in
-      let paid_stall = r.stall - hidden in
-      let cost = Cost.base i + r.latency - hidden in
-      (cost, paid_stall, r.level)
+      (* The stall shape rewrites the miss penalty charged at this pc —
+         counterfactual zeroing or ground-truth inflation — without
+         touching cache state or control flow. *)
+      let stall = shape_stall cfg ~pc r.stall in
+      let latency = r.latency + (stall - r.stall) in
+      let hidden = min cfg.ooo_window stall in
+      let paid_stall = stall - hidden in
+      let cost = Cost.base i + latency - hidden in
+      (cost, paid_stall, r.level, min r.queued paid_stall)
     in
     match i with
     | Instr.Binop (op, rd, rs, o) -> (
@@ -106,7 +121,7 @@ let step cfg hier mem ~clock (ctx : Context.t) =
         if not (Address_space.valid_addr mem addr) then
           fault ctx "load from invalid address %d at pc %d" addr pc
         else begin
-          let cost, paid_stall, level = demand_load addr in
+          let cost, paid_stall, level, queue = demand_load addr in
           ctx.regs.(rd) <- Address_space.load mem addr;
           next ();
           match cfg.load_block_threshold with
@@ -115,13 +130,15 @@ let step cfg hier mem ~clock (ctx : Context.t) =
               let issue_cost = cost - paid_stall in
               let data_at = !clock + cost in
               advance issue_cost;
-              cfg.hooks.on_load { ctx = id; pc; addr; level; stall = paid_stall; cycle = !clock };
+              cfg.hooks.on_load
+                { ctx = id; pc; addr; level; stall = paid_stall; queue; cycle = !clock };
               retire ();
               Blocked_until data_at
           | Some _ | None ->
               advance cost;
               ctx.stall_cycles <- ctx.stall_cycles + paid_stall;
-              cfg.hooks.on_load { ctx = id; pc; addr; level; stall = paid_stall; cycle = !clock };
+              cfg.hooks.on_load
+                { ctx = id; pc; addr; level; stall = paid_stall; queue; cycle = !clock };
               if paid_stall > 0 then
                 cfg.hooks.on_stall ~ctx:id ~pc ~cycles:paid_stall ~cycle:!clock;
               retire ();
@@ -248,7 +265,7 @@ let step cfg hier mem ~clock (ctx : Context.t) =
     | Instr.Accel_wait rd ->
         if ctx.accel_done_at < 0 then fault ctx "accelerator wait with no operation at pc %d" pc
         else begin
-          let remaining = max 0 (ctx.accel_done_at - !clock) in
+          let remaining = shape_stall cfg ~pc (max 0 (ctx.accel_done_at - !clock)) in
           let hidden = min cfg.ooo_window remaining in
           let paid = remaining - hidden in
           ctx.regs.(rd) <- ctx.accel_result;

@@ -21,6 +21,14 @@ type config = {
   cond_check_cost : int;  (** cost of an untaken conditional yield (default 1) *)
   ooo_window : int;  (** default 0 (in-order) *)
   load_block_threshold : int option;  (** default [None] (loads stall) *)
+  stall_shape : (pc:int -> stall:int -> int) option;
+      (** default [None]. When set, rewrites the raw memory/accelerator
+          stall charged at [pc] *before* OoO hiding: the causal layer
+          uses it both to zero the stall at one yield site's covered
+          loads (a literal Coz virtual speedup) and to inflate one site
+          as injected ground truth. Cache state, residency checks and
+          control flow are unaffected — only the cycles charged move.
+          Negative returns are clamped to 0. *)
 }
 
 val default_config : config

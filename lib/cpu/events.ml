@@ -7,6 +7,7 @@ type load_info = {
   addr : int;
   level : Hierarchy.level;
   stall : int;
+  queue : int;
   cycle : int;
 }
 

@@ -14,6 +14,9 @@ type load_info = {
   addr : int;
   level : Hierarchy.level;
   stall : int;  (** stall cycles actually paid (after any OoO overlap) *)
+  queue : int;
+      (** of those, cycles queued at the shared-L3 port (contention);
+          0 on single-core hierarchies *)
   cycle : int;
 }
 

@@ -2,7 +2,7 @@ type level = L1 | L2 | L3 | Dram
 
 let level_name = function L1 -> "L1" | L2 -> "L2" | L3 -> "L3" | Dram -> "DRAM"
 
-type result = { level : level; latency : int; stall : int }
+type result = { level : level; latency : int; stall : int; queued : int }
 
 type spike = { from_cycle : int; until_cycle : int; l3_mult : int; dram_mult : int }
 
@@ -14,6 +14,7 @@ type t = {
   icache : Cache.t option;
   stats : Mem_stats.t;
   mutable spike : spike option;
+  mutable level_scale : (level * int) option;  (* counterfactual: (level, percent) *)
   shared : (Shared_l3.t * int) option;  (* (port, this core's id) *)
 }
 
@@ -30,6 +31,7 @@ let create cfg =
       | None -> None);
     stats = Mem_stats.create ();
     spike = None;
+    level_scale = None;
     shared = None;
   }
 
@@ -54,6 +56,7 @@ let create_core cfg ~shared =
       | None -> None);
     stats = Mem_stats.create ();
     spike = None;
+    level_scale = None;
     shared = Some (shared, core);
   }
 
@@ -71,6 +74,23 @@ let inject_spike t ~from_cycle ~until_cycle ~l3_mult ~dram_mult =
   t.spike <- Some { from_cycle; until_cycle; l3_mult; dram_mult }
 
 let clear_spike t = t.spike <- None
+
+let set_level_scale t lvl ~percent =
+  if percent < 0 then invalid_arg "Hierarchy.set_level_scale: percent must be >= 0";
+  t.level_scale <- Some (lvl, percent)
+
+let clear_level_scale t = t.level_scale <- None
+
+(* Apply the armed counterfactual: keep the unavoidable L1 access cost,
+   scale only the beyond-L1 portion of an access served by the selected
+   level. [percent = 0] answers "what if this level were as fast as
+   L1?"; [percent = 50] halves its miss penalty. *)
+let counterfactual t level latency =
+  match t.level_scale with
+  | Some (lvl, percent) when lvl = level ->
+      let base = t.cfg.l1.latency in
+      base + ((max 0 (latency - base)) * percent / 100)
+  | _ -> latency
 
 let spike_active t ~now =
   match t.spike with
@@ -130,7 +150,8 @@ let admission t ~now level ~inflight =
 
 let access t ~now addr =
   let level, latency, inflight = probe t ~now addr in
-  let latency = latency + admission t ~now level ~inflight in
+  let queued = admission t ~now level ~inflight in
+  let latency = counterfactual t level (latency + queued) in
   let s = t.stats in
   s.demand_accesses <- s.demand_accesses + 1;
   (match level with
@@ -142,7 +163,7 @@ let access t ~now addr =
   (* The demand load itself pays [latency]; by the time the core can
      issue another access, the line is usable, so fill with [now]. *)
   fill t ~ready_at:now ~now level addr;
-  { level; latency; stall = max 0 (latency - t.cfg.l1.latency) }
+  { level; latency; stall = max 0 (latency - t.cfg.l1.latency); queued }
 
 let prefetch t ~now addr =
   let s = t.stats in
@@ -153,7 +174,7 @@ let prefetch t ~now addr =
     match level with
     | L1 -> ()  (* already in flight into L1; keep the earlier fill *)
     | L2 | L3 | Dram ->
-        let latency = latency + admission t ~now level ~inflight in
+        let latency = counterfactual t level (latency + admission t ~now level ~inflight) in
         fill t ~ready_at:(now + latency) ~now level addr
   end
 

@@ -15,6 +15,9 @@ type result = {
   level : level;  (** level that served the access *)
   latency : int;  (** total load-to-use cycles *)
   stall : int;  (** cycles beyond an L1 hit, i.e. [latency - l1.latency] *)
+  queued : int;
+      (** cycles spent queued at the shared-L3 port's bandwidth budget
+          (contention, not service); 0 on single-core hierarchies *)
 }
 
 (** A transient latency fault: between [from_cycle] (inclusive) and
@@ -52,6 +55,21 @@ val inject_spike :
   t -> from_cycle:int -> until_cycle:int -> l3_mult:int -> dram_mult:int -> unit
 
 val clear_spike : t -> unit
+
+(** Arm a causal counterfactual: scale the beyond-L1 portion of every
+    access *served by* [level] to [percent]% of its real cost (the L1
+    access cost is always still paid). [percent = 0] literalizes a
+    Coz-style virtual speedup — "what if L3 were as fast as L1?" —
+    which is legal here precisely because we own the simulator.
+    Applies to demand loads and to prefetch fill pricing alike, so the
+    counterfactual world stays self-consistent; control flow (yield
+    residency checks, site selection) is untouched. At most one level
+    is scaled at a time; [Memconfig.validate]'s latency-monotonicity
+    does not constrain this runtime knob.
+    @raise Invalid_argument if [percent < 0]. *)
+val set_level_scale : t -> level -> percent:int -> unit
+
+val clear_level_scale : t -> unit
 
 val spike_active : t -> now:int -> bool
 

@@ -36,6 +36,17 @@ type report = {
   dropped : int;  (** under-counts when either is non-zero *)
 }
 
+(** Static covering map over an instrumented program: each yield-family
+    instruction paired with the selected original-pc loads/waits it
+    covers (the loads between it and the next yield). This is the
+    site → covered-loads mapping the causal layer scopes per-site
+    counterfactuals with. *)
+val covering_sites :
+  Program.t ->
+  orig_of_new:int array ->
+  selected:int list ->
+  (int * Instr.yield_kind * int list) list
+
 (** [build] pairs a baseline stream (uninstrumented run) with the
     instrumented run's stream. [orig_of_new] is the pc map from
     {!Primary_pass.run}; [selected] the sites it chose (original pcs);

@@ -17,6 +17,7 @@ type t =
       addr : int;
       level : Hierarchy.level;
       stall : int;
+      queue : int;
       cycle : int;
     }
   | Stall of { ctx : int; pc : int; cycles : int; cycle : int }
@@ -26,6 +27,9 @@ type t =
   | Scavenger_escalation of { ctx : int; pc : int; cycle : int }
   | Watchdog of { ctx : int; action : watchdog_action; cycle : int }
   | Dispatch of { ctx : int; start : int; stop : int }
+  | Span_open of { ctx : int; name : string; cycle : int }
+  | Span_close of { ctx : int; name : string; cycle : int }
+  | Steal of { ctx : int; from_core : int; to_core : int; cycle : int }
 
 let ctx_of = function
   | Yield { ctx; _ }
@@ -35,7 +39,10 @@ let ctx_of = function
   | Op_retired { ctx; _ }
   | Scavenger_escalation { ctx; _ }
   | Watchdog { ctx; _ }
-  | Dispatch { ctx; _ } ->
+  | Dispatch { ctx; _ }
+  | Span_open { ctx; _ }
+  | Span_close { ctx; _ }
+  | Steal { ctx; _ } ->
       ctx
   | Context_switch { from_ctx; _ } -> from_ctx
 
@@ -47,7 +54,10 @@ let cycle_of = function
   | Op_retired { cycle; _ }
   | Context_switch { cycle; _ }
   | Scavenger_escalation { cycle; _ }
-  | Watchdog { cycle; _ } ->
+  | Watchdog { cycle; _ }
+  | Span_open { cycle; _ }
+  | Span_close { cycle; _ }
+  | Steal { cycle; _ } ->
       cycle
   | Dispatch { start; _ } -> start
 
@@ -57,9 +67,10 @@ let pp fmt = function
   | Yield { ctx; pc; kind; fired; cycle } ->
       Format.fprintf fmt "@%d ctx%d yield(%s)@%d %s" cycle ctx (kind_name kind) pc
         (if fired then "fired" else "skipped")
-  | Cache_access { ctx; pc; addr; level; stall; cycle } ->
-      Format.fprintf fmt "@%d ctx%d load@%d addr=%d %s stall=%d" cycle ctx pc addr
+  | Cache_access { ctx; pc; addr; level; stall; queue; cycle } ->
+      Format.fprintf fmt "@%d ctx%d load@%d addr=%d %s stall=%d%s" cycle ctx pc addr
         (Hierarchy.level_name level) stall
+        (if queue > 0 then Printf.sprintf " queued=%d" queue else "")
   | Stall { ctx; pc; cycles; cycle } ->
       Format.fprintf fmt "@%d ctx%d stall@%d %d cyc" cycle ctx pc cycles
   | Frontend_stall { ctx; pc; cycles; cycle } ->
@@ -73,3 +84,8 @@ let pp fmt = function
   | Watchdog { ctx; action; cycle } ->
       Format.fprintf fmt "@%d ctx%d watchdog-%s" cycle ctx (watchdog_action_name action)
   | Dispatch { ctx; start; stop } -> Format.fprintf fmt "@%d ctx%d dispatch %d cyc" start ctx (stop - start)
+  | Span_open { ctx; name; cycle } -> Format.fprintf fmt "@%d ctx%d span-open %s" cycle ctx name
+  | Span_close { ctx; name; cycle } ->
+      Format.fprintf fmt "@%d ctx%d span-close %s" cycle ctx name
+  | Steal { ctx; from_core; to_core; cycle } ->
+      Format.fprintf fmt "@%d ctx%d stolen core%d->core%d" cycle ctx from_core to_core

@@ -30,6 +30,9 @@ type t =
       addr : int;
       level : Hierarchy.level;  (** level that served the demand load *)
       stall : int;  (** stall cycles actually paid (after OoO overlap) *)
+      queue : int;
+          (** of those, cycles queued at the shared-L3 port — contention
+              the critical-path extractor separates from service time *)
       cycle : int;
     }
   | Stall of { ctx : int; pc : int; cycles : int; cycle : int }
@@ -52,6 +55,15 @@ type t =
   | Dispatch of { ctx : int; start : int; stop : int }
       (** one scheduler dispatch span: [ctx] held the core over
           [start, stop) *)
+  | Span_open of { ctx : int; name : string; cycle : int }
+      (** start of a named logical interval on [ctx] — e.g. a request's
+          lifetime from enqueue to completion. Spans of the same ctx may
+          overlap across cores (migration); pair them with
+          {!Critical_path.pair_spans}, not by stack discipline. *)
+  | Span_close of { ctx : int; name : string; cycle : int }
+  | Steal of { ctx : int; from_core : int; to_core : int; cycle : int }
+      (** [ctx] migrated from [from_core]'s backlog to [to_core]
+          (scavenger work stealing or donation) *)
 
 (** Context the event belongs to ([from_ctx] for switches). *)
 val ctx_of : t -> int

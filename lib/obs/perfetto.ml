@@ -40,13 +40,14 @@ let event_json ?tid e =
              ("kind", Json.String (Event.kind_name kind));
              ("fired", Json.Bool fired);
            ])
-  | Event.Cache_access { ctx; pc; addr; level; stall; cycle } ->
+  | Event.Cache_access { ctx; pc; addr; level; stall; queue; cycle } ->
       (* hits are numerous and carry no latency story; keep the trace loadable *)
       if stall = 0 then None
       else
         Some
           (instant ~name:("miss-" ^ Hierarchy.level_name level) ~cat:"mem" ~tid:(on ctx) ~ts:cycle
-             [ ("pc", Json.Int pc); ("addr", Json.Int addr); ("stall", Json.Int stall) ])
+             ([ ("pc", Json.Int pc); ("addr", Json.Int addr); ("stall", Json.Int stall) ]
+             @ if queue > 0 then [ ("queued", Json.Int queue) ] else []))
   | Event.Stall _ | Event.Frontend_stall _ -> None
   | Event.Op_retired { ctx; pc; cycle } ->
       Some (instant ~name:"op" ~cat:"op" ~tid:(on ctx) ~ts:cycle [ ("pc", Json.Int pc) ])
@@ -63,6 +64,37 @@ let event_json ?tid e =
         (instant
            ~name:("watchdog-" ^ Event.watchdog_action_name action)
            ~cat:"sched" ~tid:(on ctx) ~ts:cycle [])
+  (* Logical spans render as async begin/end pairs keyed by ctx id:
+     unlike "B"/"E" stack events, async spans may overlap freely on one
+     track, which is exactly what concurrent requests on a core do. *)
+  | Event.Span_open { ctx; name; cycle } ->
+      Some
+        (Json.Obj
+           [
+             ("name", Json.String name);
+             ("cat", Json.String "span");
+             ("ph", Json.String "b");
+             ("id", Json.Int ctx);
+             ("pid", Json.Int 0);
+             ("tid", Json.Int (on ctx));
+             ("ts", Json.Int cycle);
+           ])
+  | Event.Span_close { ctx; name; cycle } ->
+      Some
+        (Json.Obj
+           [
+             ("name", Json.String name);
+             ("cat", Json.String "span");
+             ("ph", Json.String "e");
+             ("id", Json.Int ctx);
+             ("pid", Json.Int 0);
+             ("tid", Json.Int (on ctx));
+             ("ts", Json.Int cycle);
+           ])
+  | Event.Steal { ctx; from_core; to_core; cycle } ->
+      Some
+        (instant ~name:"steal" ~cat:"sched" ~tid:(on ctx) ~ts:cycle
+           [ ("from_core", Json.Int from_core); ("to_core", Json.Int to_core) ])
 
 let to_json stream =
   let ctxs = Hashtbl.create 8 in

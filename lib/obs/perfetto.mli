@@ -3,8 +3,11 @@
     Renders a {!Stream.t} as the JSON object format both
     [chrome://tracing] and [ui.perfetto.dev] load: one track (tid) per
     simulated context, [Dispatch] spans as complete ("X") events, and
-    yields, context switches, scavenger escalations and missing loads as
-    instants. Timestamps are simulated cycles (declared as ns — the unit
+    yields, context switches, scavenger escalations, steals and missing
+    loads as instants, and request-lifetime [Span_open]/[Span_close]
+    pairs as async ("b"/"e") events keyed by context id — async spans
+    may overlap on one track, which concurrent requests on a core do.
+    Timestamps are simulated cycles (declared as ns — the unit
     Perfetto displays; cycles are the only clock the simulator has). *)
 
 val to_json : Stream.t -> Stallhide_util.Json.t

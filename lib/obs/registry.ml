@@ -173,6 +173,55 @@ let namespace_json t ~prefix =
   in
   Json.Obj [ ("aggregate", Json.Obj aggregate); ("per", Json.Obj per) ]
 
+(* Prometheus metric names: [a-zA-Z_:][a-zA-Z0-9_:]*. Dots and dashes
+   become underscores; "a.b" and "a_b" therefore collide — acceptable
+   for our fixed vocabulary. *)
+let prom_name name =
+  "stallhide_"
+  ^ String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+        | _ -> '_')
+      name
+
+let to_prometheus t =
+  let buf = Buffer.create 4096 in
+  let counter_names, hist_names =
+    let has tbl name = Hashtbl.fold (fun (n, _) _ acc -> acc || String.equal n name) tbl false in
+    List.partition (fun n -> has t.counters n) (names t)
+  in
+  List.iter
+    (fun name ->
+      let m = prom_name name in
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n" m);
+      List.iter
+        (fun (ctx, v) -> Buffer.add_string buf (Printf.sprintf "%s{ctx=\"%d\"} %d\n" m ctx v))
+        (by_ctx t name))
+    counter_names;
+  List.iter
+    (fun name ->
+      match merged t name with
+      | None -> ()
+      | Some h ->
+          let m = prom_name name in
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s histogram\n" m);
+          let last =
+            let rec go i = if i < 0 then 0 else if h.slots.(i) > 0 then i else go (i - 1) in
+            go (buckets - 1)
+          in
+          let cum = ref 0 in
+          for i = 0 to last do
+            cum := !cum + h.slots.(i);
+            Buffer.add_string buf
+              (Printf.sprintf "%s_bucket{le=\"%d\"} %d\n" m (slot_upper i) !cum)
+          done;
+          Buffer.add_string buf (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" m h.count);
+          Buffer.add_string buf (Printf.sprintf "%s_sum %d\n" m h.sum);
+          Buffer.add_string buf (Printf.sprintf "%s_count %d\n" m h.count))
+    hist_names;
+  Buffer.contents buf
+
 let to_json t =
   let counter_names, hist_names =
     let has tbl name = Hashtbl.fold (fun (n, _) _ acc -> acc || String.equal n name) tbl false in

@@ -81,3 +81,13 @@ val namespace_json : t -> prefix:string -> Stallhide_util.Json.t
     [{total, by_ctx}] and histograms as
     [{count, sum, max, p50, p99, buckets}] (merged across contexts). *)
 val to_json : t -> Stallhide_util.Json.t
+
+(** Prometheus text-exposition rendering of the same registry: each
+    counter becomes ["stallhide_<name>{ctx=\"<i>\"} v"] lines (one per
+    context), each histogram (merged across contexts) the standard
+    cumulative [_bucket{le=...}] / [_sum] / [_count] triplet with [le]
+    bounds at the log-bucket uppers. Dots/dashes in names map to
+    underscores ("load.stall" → "stallhide_load_stall"), so distinct
+    registry names that differ only in separator collide — fine for
+    the fixed series vocabulary this simulator emits. *)
+val to_prometheus : t -> string

@@ -17,9 +17,10 @@ let count t event =
   match event with
   | Event.Yield { ctx; fired; _ } ->
       Registry.incr (Registry.counter r ~ctx (if fired then "yield.fired" else "yield.skipped"))
-  | Event.Cache_access { ctx; level; stall; _ } ->
+  | Event.Cache_access { ctx; level; stall; queue; _ } ->
       Registry.incr (Registry.counter r ~ctx ("load." ^ Hierarchy.level_name level));
-      if stall > 0 then Registry.observe (Registry.histogram r ~ctx "load.stall") stall
+      if stall > 0 then Registry.observe (Registry.histogram r ~ctx "load.stall") stall;
+      if queue > 0 then Registry.incr ~by:queue (Registry.counter r ~ctx "load.queue_cycles")
   | Event.Stall { ctx; cycles; _ } ->
       Registry.incr ~by:cycles (Registry.counter r ~ctx "stall.cycles")
   | Event.Frontend_stall { ctx; cycles; _ } ->
@@ -41,6 +42,9 @@ let count t event =
       Registry.incr (Registry.counter r ~ctx name)
   | Event.Dispatch { ctx; start; stop } ->
       Registry.observe (Registry.histogram r ~ctx "dispatch.cycles") (stop - start)
+  | Event.Span_open { ctx; _ } -> Registry.incr (Registry.counter r ~ctx "span.opened")
+  | Event.Span_close { ctx; _ } -> Registry.incr (Registry.counter r ~ctx "span.closed")
+  | Event.Steal { ctx; _ } -> Registry.incr (Registry.counter r ~ctx "steal.migrations")
 
 let record t event =
   count t event;
@@ -74,6 +78,7 @@ let hooks t =
                addr = info.Events.addr;
                level = info.Events.level;
                stall = info.Events.stall;
+               queue = info.Events.queue;
                cycle = info.Events.cycle;
              }));
     on_stall = (fun ~ctx ~pc ~cycles ~cycle -> record t (Event.Stall { ctx; pc; cycles; cycle }));

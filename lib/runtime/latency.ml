@@ -37,6 +37,11 @@ type summary = {
   max : int;
 }
 
+(* Linear interpolation between closest ranks (numpy's "linear" /
+   "inclusive" method): rank = q*(n-1); interpolate between the samples
+   at floor(rank) and ceil(rank), then round to the nearest cycle. This
+   replaced nearest-rank, whose step discontinuities made one-sample
+   shifts look like whole-bucket p99 jumps in the differential sweeps. *)
 let percentile xs q =
   match xs with
   | [] -> invalid_arg "Latency.percentile: empty"
@@ -44,8 +49,13 @@ let percentile xs q =
       let a = Array.of_list xs in
       Array.sort compare a;
       let n = Array.length a in
-      let idx = int_of_float (ceil (q *. float_of_int n)) - 1 in
-      a.(max 0 (min (n - 1) idx))
+      let rank = q *. float_of_int (n - 1) in
+      let rank = Float.max 0.0 (Float.min (float_of_int (n - 1)) rank) in
+      let lo = int_of_float (Float.floor rank) in
+      let hi = min (n - 1) (lo + 1) in
+      let frac = rank -. float_of_int lo in
+      let v = float_of_int a.(lo) +. (frac *. float_of_int (a.(hi) - a.(lo))) in
+      int_of_float (Float.round v)
 
 let summarize xs =
   match xs with

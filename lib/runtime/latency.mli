@@ -45,6 +45,11 @@ val empty_summary : summary
 val summary : int list -> summary
 
 (** [percentile xs q] with [q] in [0,1]; [xs] need not be sorted.
+    Linear interpolation between closest ranks (numpy's "linear"
+    method): the rank is [q * (n-1)] and fractional ranks interpolate
+    between the two neighbouring order statistics, rounded to the
+    nearest integer cycle. For [xs = 1..100], [p50] is 51 (midpoint
+    50.5 rounded), not nearest-rank's 50.
     @raise Invalid_argument on an empty list. *)
 val percentile : int list -> float -> int
 

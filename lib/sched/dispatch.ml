@@ -8,6 +8,10 @@ let policy_of_string s =
   | "jbsq" -> Some Jbsq
   | _ -> None
 
+let all_policies = [ D_fcfs; Jbsq ]
+
+let alternate = function D_fcfs -> Jbsq | Jbsq -> D_fcfs
+
 let home ~shards key =
   if shards <= 0 then invalid_arg "Dispatch.home: shards must be positive";
   (* Fibonacci hashing: spread adjacent keys across shards. *)

@@ -16,6 +16,14 @@ val policy_name : policy -> string
 
 val policy_of_string : string -> policy option
 
+(** Every policy, in a stable order — what the sensitivity sweep
+    enumerates when it flips the dispatch-policy knob. *)
+val all_policies : policy list
+
+(** The other policy: the one-factor perturbation of a dispatch
+    configuration. *)
+val alternate : policy -> policy
+
 (** [home ~shards key] is the key-hash shard affinity: the home shard
     of [key] among [shards] cores (Fibonacci-hashed so adjacent keys
     spread). @raise Invalid_argument if [shards <= 0]. *)

@@ -31,6 +31,8 @@ type params = {
   steal_budget : int;
   steal_cost : int;
   max_cycles : int;
+  memcfg : Memconfig.t;
+  prepare_core : int -> Hierarchy.t -> unit;
 }
 
 let default_params =
@@ -58,6 +60,8 @@ let default_params =
     steal_budget = 2;
     steal_cost = 24;
     max_cycles = 200_000_000;
+    memcfg = Memconfig.default;
+    prepare_core = (fun _ _ -> ());
   }
 
 type run = {
@@ -226,7 +230,7 @@ let run params =
   let config =
     {
       Machine.cores = p.cores;
-      memcfg = Memconfig.default;
+      memcfg = p.memcfg;
       l3_window = p.l3_window;
       l3_budget = p.l3_budget;
       core =
@@ -238,6 +242,7 @@ let run params =
         };
       steal = p.steal;
       max_cycles = p.max_cycles;
+      prepare_core = p.prepare_core;
     }
   in
   let result = Machine.run ~config ~policy:p.policy ~mem:image ~requests ~scavengers () in

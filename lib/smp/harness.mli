@@ -48,6 +48,12 @@ type params = {
   steal_budget : int;
   steal_cost : int;
   max_cycles : int;
+  memcfg : Stallhide_mem.Memconfig.t;
+      (** memory geometry for every core (default
+          [Memconfig.default]) — the sweep driver perturbs cache sizes
+          and latencies through this *)
+  prepare_core : int -> Stallhide_mem.Hierarchy.t -> unit;
+      (** forwarded to {!Machine.config.prepare_core} (default no-op) *)
 }
 
 val default_params : params

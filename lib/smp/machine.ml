@@ -12,6 +12,7 @@ type config = {
   core : Core_sched.config;
   steal : bool;
   max_cycles : int;
+  prepare_core : int -> Hierarchy.t -> unit;
 }
 
 let default_config =
@@ -23,6 +24,7 @@ let default_config =
     core = Core_sched.default_config;
     steal = true;
     max_cycles = max_int;
+    prepare_core = (fun _ _ -> ());
   }
 
 type request = {
@@ -53,6 +55,7 @@ type result = {
   completed : int;
   faulted : int;
   per_core : core_result array;
+  requests : request array;
   steals : int;
   donations : int;
   l3 : Shared_l3.stats;
@@ -76,6 +79,7 @@ let run ?(config = default_config) ~policy ~mem ~requests ~scavengers () =
   let scheds =
     Array.init n (fun i ->
         let hier = Hierarchy.create_core config.memcfg ~shared in
+        config.prepare_core i hier;
         let engine =
           {
             config.core.Core_sched.engine with
@@ -108,7 +112,20 @@ let run ?(config = default_config) ~policy ~mem ~requests ~scavengers () =
                 end
               end
             done;
-            if !best < 0 then None else Core_sched.donate scheds.(!best)))
+            if !best < 0 then None
+            else
+              match Core_sched.donate scheds.(!best) with
+              | Some ctx as stolen ->
+                  Stallhide_obs.Stream.record streams.(i)
+                    (Stallhide_obs.Event.Steal
+                       {
+                         ctx = ctx.Context.id;
+                         from_core = !best;
+                         to_core = i;
+                         cycle = Core_sched.clock thief;
+                       });
+                  stolen
+              | None -> None))
       scheds;
   let by_ctx = Hashtbl.create (Array.length reqs) in
   Array.iter (fun r -> Hashtbl.replace by_ctx r.ctx.Context.id r) reqs;
@@ -119,6 +136,9 @@ let run ?(config = default_config) ~policy ~mem ~requests ~scavengers () =
           match Hashtbl.find_opt by_ctx ctx.Context.id with
           | Some r ->
               r.finished_at <- now;
+              Stallhide_obs.Stream.record streams.(i)
+                (Stallhide_obs.Event.Span_close
+                   { ctx = ctx.Context.id; name = "request"; cycle = now });
               Vec.push sojourns.(i) (now - r.arrival)
           | None -> ()))
     scheds;
@@ -138,6 +158,9 @@ let run ?(config = default_config) ~policy ~mem ~requests ~scavengers () =
       let depths = Array.init n (fun i -> Core_sched.queue_depth scheds.(i)) in
       let target = Dispatch.choose policy ~home:r.home ~depths in
       r.served_by <- target;
+      Stallhide_obs.Stream.record streams.(target)
+        (Stallhide_obs.Event.Span_open
+           { ctx = r.ctx.Context.id; name = "request"; cycle = r.arrival });
       Core_sched.submit scheds.(target) r.ctx;
       incr released
     done
@@ -198,6 +221,7 @@ let run ?(config = default_config) ~policy ~mem ~requests ~scavengers () =
     completed;
     faulted;
     per_core;
+    requests = reqs;
     steals =
       Array.fold_left (fun acc (c : core_result) -> acc + c.stats.Core_sched.steals) 0 per_core;
     donations =

@@ -24,6 +24,11 @@ type config = {
   core : Core_sched.config;  (** per-core scheduler/engine config *)
   steal : bool;  (** enable cross-core scavenger stealing *)
   max_cycles : int;
+  prepare_core : int -> Hierarchy.t -> unit;
+      (** called once per core on its freshly built hierarchy, before
+          any request runs — the hook fault injection and causal
+          counterfactuals use to arm spikes or level scaling on every
+          core deterministically (default: no-op) *)
 }
 
 (** 4 cores, default memory geometry, window 32 / budget 16,
@@ -57,6 +62,10 @@ type result = {
   completed : int;
   faulted : int;
   per_core : core_result array;
+  requests : request array;
+      (** the served requests with their dispatch/completion stamps —
+          what the critical-path extractor joins against the per-core
+          event streams *)
   steals : int;
   donations : int;
   l3 : Shared_l3.stats;

@@ -163,11 +163,15 @@ let golden_stream () =
        { ctx = 1; pc = 9; kind = Stallhide_isa.Instr.Scavenger; fired = false; cycle = 21 });
   record
     (Obs.Event.Cache_access
-       { ctx = 1; pc = 4; addr = 512; level = Hierarchy.Dram; stall = 180; cycle = 23 });
+       { ctx = 1; pc = 4; addr = 512; level = Hierarchy.Dram; stall = 180; queue = 0; cycle = 23 });
+  (* a contended miss: carries a "queued" arg in the export *)
+  record
+    (Obs.Event.Cache_access
+       { ctx = 0; pc = 7; addr = 640; level = Hierarchy.L3; stall = 60; queue = 12; cycle = 30 });
   (* a hit (stall = 0) and raw stalls: all dropped by the exporter *)
   record
     (Obs.Event.Cache_access
-       { ctx = 1; pc = 5; addr = 576; level = Hierarchy.L1; stall = 0; cycle = 24 });
+       { ctx = 1; pc = 5; addr = 576; level = Hierarchy.L1; stall = 0; queue = 0; cycle = 24 });
   record (Obs.Event.Stall { ctx = 0; pc = 6; cycles = 7; cycle = 25 });
   record (Obs.Event.Frontend_stall { ctx = 0; pc = 6; cycles = 2; cycle = 26 });
   record
@@ -176,6 +180,13 @@ let golden_stream () =
   record (Obs.Event.Scavenger_escalation { ctx = 2; pc = 8; cycle = 60 });
   record (Obs.Event.Watchdog { ctx = 2; action = Obs.Event.Demote; cycle = 61 });
   record (Obs.Event.Dispatch { ctx = 1; start = 44; stop = 70 });
+  (* request-lifetime spans (async b/e, overlapping on one track) and a
+     steal migration instant *)
+  record (Obs.Event.Span_open { ctx = 0; name = "request"; cycle = 8 });
+  record (Obs.Event.Span_open { ctx = 1; name = "request"; cycle = 12 });
+  record (Obs.Event.Steal { ctx = 1; from_core = 0; to_core = 1; cycle = 40 });
+  record (Obs.Event.Span_close { ctx = 0; name = "request"; cycle = 64 });
+  record (Obs.Event.Span_close { ctx = 1; name = "request"; cycle = 72 });
   s
 
 (* First structural difference between two JSON values, as a path. *)
@@ -226,6 +237,146 @@ let test_perfetto_golden () =
       | None -> ()
       | Some d -> Alcotest.fail ("exporter output diverges from golden file at " ^ d))
 
+(* --- Prometheus text exposition: round-trips against the registry --- *)
+
+let test_prometheus_roundtrip () =
+  let opts, s = with_obs () in
+  let m = Baselines.run_round_robin ~opts (chase ()) in
+  let r = Obs.Stream.registry s in
+  let text = Obs.Registry.to_prometheus r in
+  let samples =
+    List.filter_map
+      (fun line ->
+        if line = "" || line.[0] = '#' then None
+        else
+          match String.rindex_opt line ' ' with
+          | Some i ->
+              Some
+                ( String.sub line 0 i,
+                  int_of_string (String.sub line (i + 1) (String.length line - i - 1)) )
+          | None -> None)
+      (String.split_on_char '\n' text)
+  in
+  let sum_of prefix =
+    List.fold_left
+      (fun acc (k, v) ->
+        if String.length k >= String.length prefix && String.sub k 0 (String.length prefix) = prefix
+        then acc + v
+        else acc)
+      0 samples
+  in
+  (* counters: the per-ctx label sum equals the registry total *)
+  Alcotest.(check int) "stall.cycles counter round-trips" m.Metrics.stall
+    (sum_of "stallhide_stall_cycles{");
+  Alcotest.(check bool) "counter TYPE line present" true
+    (List.exists
+       (fun l -> l = "# TYPE stallhide_stall_cycles counter")
+       (String.split_on_char '\n' text));
+  (* histograms: _count, _sum and the +Inf bucket match the merged view *)
+  let h = Option.get (Obs.Registry.merged r "dispatch.cycles") in
+  Alcotest.(check (option int))
+    "_count matches" (Some (Obs.Registry.hist_count h))
+    (List.assoc_opt "stallhide_dispatch_cycles_count" samples);
+  Alcotest.(check (option int))
+    "_sum matches" (Some (Obs.Registry.hist_sum h))
+    (List.assoc_opt "stallhide_dispatch_cycles_sum" samples);
+  Alcotest.(check (option int))
+    "+Inf bucket = count" (Some (Obs.Registry.hist_count h))
+    (List.assoc_opt "stallhide_dispatch_cycles_bucket{le=\"+Inf\"}" samples);
+  (* bucket series is cumulative: non-decreasing in le order *)
+  let buckets =
+    List.filter_map
+      (fun (k, v) ->
+        let p = "stallhide_dispatch_cycles_bucket{le=\"" in
+        if String.length k > String.length p && String.sub k 0 (String.length p) = p then Some v
+        else None)
+      samples
+  in
+  Alcotest.(check bool) "buckets cumulative" true
+    (fst
+       (List.fold_left (fun (ok, prev) v -> (ok && v >= prev, v)) (true, 0) buckets))
+
+(* --- Span pairing: nesting, unbalanced opens/closes, cross-core --- *)
+
+let test_span_pairing () =
+  let open Obs.Event in
+  (* a merged multi-core timeline, deliberately out of order: ctx 1's
+     span opens on one core and closes on another (steal); ctx 2 never
+     closes (unbalanced open); ctx 3 closes without opening *)
+  let events =
+    [
+      Span_close { ctx = 1; name = "request"; cycle = 30 };
+      Span_open { ctx = 1; name = "request"; cycle = 5 };
+      Span_open { ctx = 2; name = "request"; cycle = 6 };
+      Span_open { ctx = 1; name = "request"; cycle = 40 };
+      Span_close { ctx = 1; name = "request"; cycle = 55 };
+      Span_close { ctx = 3; name = "request"; cycle = 60 };
+    ]
+  in
+  let pairs = Obs.Critical_path.pair_spans events in
+  let expect =
+    [ (1, "request", 5, Some 30); (2, "request", 6, None); (1, "request", 40, Some 55) ]
+  in
+  Alcotest.(check bool) "pairs (unmatched close dropped, unclosed open = None)" true
+    (pairs = expect);
+  (* concurrent same-key opens close FIFO *)
+  let fifo =
+    Obs.Critical_path.pair_spans
+      [
+        Span_open { ctx = 9; name = "s"; cycle = 1 };
+        Span_open { ctx = 9; name = "s"; cycle = 2 };
+        Span_close { ctx = 9; name = "s"; cycle = 10 };
+      ]
+  in
+  Alcotest.(check bool) "FIFO close" true (fifo = [ (9, "s", 1, Some 10); (9, "s", 2, None) ])
+
+(* --- Sweep / causal drivers on synthetic closures --- *)
+
+let synth v =
+  { Obs.Sweep.count = 1; mean = float_of_int v; p50 = v; p90 = v; p99 = v; p999 = v; max = v }
+
+let test_sweep_stats () =
+  let r =
+    Obs.Sweep.run ~seeds:[ 1; 2; 3 ]
+      ~base:(fun seed -> synth (100 + seed))
+      ~knobs:[ ("k", "perturb", fun seed -> synth (150 + seed)) ]
+  in
+  let row = List.hd r.Obs.Sweep.rows in
+  let d = Obs.Sweep.series_value Obs.Sweep.P99 row.Obs.Sweep.delta in
+  (* paired differences are a constant +50, so the CI collapses to 0
+     even though both arms vary with the seed *)
+  Alcotest.(check (float 1e-9)) "paired delta" 50.0 d.Obs.Sweep.value;
+  Alcotest.(check (float 1e-9)) "paired ci" 0.0 d.Obs.Sweep.ci95;
+  let b = Obs.Sweep.series_value Obs.Sweep.Mean r.Obs.Sweep.base in
+  Alcotest.(check (float 1e-9)) "base mean" 102.0 b.Obs.Sweep.value;
+  Alcotest.(check (float 1e-3)) "base ci (sd 1, n 3)" (1.96 /. sqrt 3.0) b.Obs.Sweep.ci95
+
+let test_causal_ranking () =
+  let t id kind = { Obs.Causal.id; kind; detail = "" } in
+  let r =
+    Obs.Causal.run ~seeds:[ 7 ]
+      ~base:(fun _ -> synth 100)
+      ~targets:
+        [
+          (t "level:L3" Obs.Causal.Resource, fun _ -> synth 90);
+          (t "level:DRAM" Obs.Causal.Resource, fun _ -> synth 40);
+          (t "site:3" Obs.Causal.Site, fun _ -> synth 95);
+        ]
+  in
+  Alcotest.(check (option int)) "DRAM #1 among resources" (Some 1)
+    (Obs.Causal.rank_of Obs.Sweep.P99 r ~id:"level:DRAM");
+  Alcotest.(check (option int)) "L3 #2 among resources" (Some 2)
+    (Obs.Causal.rank_of Obs.Sweep.P99 r ~id:"level:L3");
+  Alcotest.(check (option int)) "site ranks within its own kind" (Some 1)
+    (Obs.Causal.rank_of Obs.Sweep.P99 r ~id:"site:3");
+  Alcotest.(check (option int)) "unknown id" None
+    (Obs.Causal.rank_of Obs.Sweep.P99 r ~id:"level:L1");
+  let dram =
+    List.find (fun (c : Obs.Causal.contribution) -> c.Obs.Causal.target.Obs.Causal.id = "level:DRAM")
+      r.Obs.Causal.rows
+  in
+  Alcotest.(check (float 1e-9)) "share of base" 0.6 (Obs.Causal.share Obs.Sweep.P99 r dram)
+
 let () =
   Alcotest.run "obs"
     [
@@ -240,4 +391,11 @@ let () =
       ("golden", [ Alcotest.test_case "perfetto exporter" `Quick test_perfetto_golden ]);
       ("attribution", [ Alcotest.test_case "invariants" `Quick test_attribution_invariants ]);
       ("stream", [ Alcotest.test_case "drop accounting" `Quick test_stream_drop_accounting ]);
+      ("prometheus", [ Alcotest.test_case "text exposition round-trip" `Quick test_prometheus_roundtrip ]);
+      ("spans", [ Alcotest.test_case "pairing + nesting" `Quick test_span_pairing ]);
+      ( "causal-drivers",
+        [
+          Alcotest.test_case "sweep stats" `Quick test_sweep_stats;
+          Alcotest.test_case "causal ranking" `Quick test_causal_ranking;
+        ] );
     ]

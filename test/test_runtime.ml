@@ -22,9 +22,11 @@ let test_switch_cost_at_site () =
 
 (* --- Latency --- *)
 
+(* Linear interpolation (numpy's "linear", rank = q*(n-1)), rounded to
+   the nearest cycle: p50 of 1..100 interpolates between 50 and 51. *)
 let test_percentiles () =
   let xs = List.init 100 (fun i -> i + 1) in
-  Alcotest.(check int) "p50" 50 (Latency.percentile xs 0.50);
+  Alcotest.(check int) "p50" 51 (Latency.percentile xs 0.50);
   Alcotest.(check int) "p90" 90 (Latency.percentile xs 0.90);
   Alcotest.(check int) "p99" 99 (Latency.percentile xs 0.99);
   Alcotest.(check int) "p100" 100 (Latency.percentile xs 1.0);
@@ -32,6 +34,18 @@ let test_percentiles () =
   match Latency.percentile [] 0.5 with
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "empty percentile accepted"
+
+(* Small-n edge cases, where nearest-rank used to snap to an endpoint:
+   interpolation uses both neighbours and clamps q outside [0, 1]. *)
+let test_percentile_small_n () =
+  Alcotest.(check int) "2 elems, p50 midpoint" 15 (Latency.percentile [ 10; 20 ] 0.50);
+  Alcotest.(check int) "2 elems, p0" 10 (Latency.percentile [ 10; 20 ] 0.0);
+  Alcotest.(check int) "2 elems, p100" 20 (Latency.percentile [ 10; 20 ] 1.0);
+  Alcotest.(check int) "3 elems, p50 exact" 2 (Latency.percentile [ 1; 2; 3 ] 0.50);
+  Alcotest.(check int) "3 elems, p75 interpolates" 3 (Latency.percentile [ 1; 2; 3 ] 0.75);
+  Alcotest.(check int) "unsorted input" 2 (Latency.percentile [ 3; 1; 2 ] 0.50);
+  Alcotest.(check int) "q below 0 clamps" 10 (Latency.percentile [ 10; 20 ] (-0.5));
+  Alcotest.(check int) "q above 1 clamps" 20 (Latency.percentile [ 10; 20 ] 1.5)
 
 let test_summarize () =
   (match Latency.summarize [] with
@@ -284,6 +298,7 @@ let () =
       ( "latency",
         [
           Alcotest.test_case "percentiles" `Quick test_percentiles;
+          Alcotest.test_case "percentile small-n" `Quick test_percentile_small_n;
           Alcotest.test_case "summarize" `Quick test_summarize;
           Alcotest.test_case "recorder" `Quick test_recorder_skips_first;
         ] );
