@@ -1061,6 +1061,150 @@ let c21 () =
     failwith "C21: an injected ground-truth cause was not ranked #1 by `why`"
 
 (* ------------------------------------------------------------------ *)
+(* C22 — placement matrix: profile-free static analysis vs PGO.        *)
+(* ------------------------------------------------------------------ *)
+
+let c22_workloads =
+  [
+    "pointer-chase"; "hash-probe"; "btree"; "array-scan"; "hash-join"; "kv-server";
+    "graph-bfs"; "group-by"; "offload";
+  ]
+
+let c22_make name ~lanes ~ops =
+  match name with
+  | "pointer-chase" -> chase ~lanes ~hops:ops ()
+  | "hash-probe" -> Hash_probe.make ~lanes ~table_slots:16384 ~ops ~seed ()
+  | "btree" -> Btree.make ~lanes ~keys:16384 ~ops ~seed ()
+  | "array-scan" -> Array_scan.make ~lanes ~block_words:64 ~ops ~seed ()
+  | "hash-join" -> Hash_join.make ~lanes ~build_rows:16384 ~ops ~seed ()
+  | "kv-server" -> Kv_server.make ~lanes ~requests:ops ~seed ()
+  | "graph-bfs" -> Graph_bfs.make ~lanes ~vertices:(ops * 32) ~degree:4 ~seed ()
+  | "group-by" -> Group_by.make ~lanes ~groups:16384 ~tuples:ops ~seed ()
+  | "offload" -> Offload.make ~lanes ~ops ~overlap:24 ~seed ()
+  | _ -> assert false
+
+let c22 () =
+  let lanes = 16 and ops = 300 in
+  let matrix =
+    List.map
+      (fun name ->
+        let w () = c22_make name ~lanes ~ops in
+        let none = Baselines.run_sequential (w ()) in
+        let pgo, _ = Baselines.run_pgo (w ()) in
+        let static, _ = Baselines.run_static (w ()) in
+        let hybrid, _ = Baselines.run_hybrid (w ()) in
+        (name, none, pgo, static, hybrid))
+      c22_workloads
+  in
+  let gain (m : Metrics.t) (none : Metrics.t) = m.Metrics.throughput -. none.Metrics.throughput in
+  Experiment.table
+    ~title:"C22: yield-placement evidence — PGO profile vs static must/may analysis vs hybrid"
+    ~note:
+      "same pipeline, three evidence sources: PGO = sampled profile (needs a training run); \
+       static = must/may cache classification + taint priors (no profiling run at all); \
+       hybrid = profile with proven always-hit/always-miss overrides. gain = throughput over \
+       sequential; ratio = static gain / PGO gain"
+    ~header:
+      [ "workload"; "seq tput"; "PGO"; "static"; "hybrid"; "static/PGO gain"; "hybrid>=PGO" ]
+    (List.map
+       (fun (name, none, pgo, static, hybrid) ->
+         let gp = gain pgo none and gs = gain static none and gh = gain hybrid none in
+         [
+           name;
+           ff ~decimals:3 none.Metrics.throughput;
+           ff ~decimals:3 pgo.Metrics.throughput;
+           ff ~decimals:3 static.Metrics.throughput;
+           ff ~decimals:3 hybrid.Metrics.throughput;
+           (if gp > 1e-9 then pct (gs /. gp) else "-");
+           (if gh >= gp -. 1e-9 then "yes" else "NO");
+         ])
+       matrix);
+  (* Drift: train PGO on the full working set, deploy against an 8x
+     smaller one (the PR-3 stale-profile scenario). The static build
+     never saw a training run, so there is nothing to go stale. *)
+  let module H = Stallhide_faults.Harness in
+  let shrink = 32 in
+  let drift_rows =
+    List.map
+      (fun workload ->
+        let train = H.make ~workload ~lanes:8 ~ops:1000 ~manual:false ~seed:42 ~ws_scale:1 () in
+        let profiled = Pipeline.profile train in
+        let _, inst = Pipeline.instrument profiled train in
+        let drifted () =
+          H.make ~workload ~lanes:8 ~ops:1000 ~manual:false ~seed:42 ~ws_scale:shrink ()
+        in
+        let seq = Baselines.run_sequential ~label:(workload ^ "/drifted-seq") (drifted ()) in
+        let stale =
+          Baselines.run_round_robin ~label:(workload ^ "/stale-pgo")
+            (Workload.with_program (drifted ()) inst.Pipeline.program)
+        in
+        let fresh, _ = Baselines.run_pgo ~label:(workload ^ "/fresh-pgo") (drifted ()) in
+        let static, _ = Baselines.run_static ~label:(workload ^ "/static") (drifted ()) in
+        (workload, seq, stale, fresh, static))
+      [ "pointer-chase"; "hash-probe" ]
+  in
+  Experiment.table
+    ~title:
+      (Printf.sprintf "C22b: placement under profile drift (working set shrunk %dx after training)"
+         shrink)
+    ~note:
+      "stale = the binary instrumented from the full-working-set profile, deployed after the \
+       shrink (its yields now fire on hits); fresh = re-profiled after the shrink (the \
+       expensive fix); static = profile-free placement, immune to drift by construction"
+    ~header:[ "workload"; "seq tput"; "stale PGO"; "fresh PGO"; "static"; "static vs stale" ]
+    (List.map
+       (fun (workload, seq, stale, fresh, static) ->
+         [
+           workload;
+           ff ~decimals:3 seq.Metrics.throughput;
+           ff ~decimals:3 stale.Metrics.throughput;
+           ff ~decimals:3 fresh.Metrics.throughput;
+           ff ~decimals:3 static.Metrics.throughput;
+           ff (static.Metrics.throughput /. stale.Metrics.throughput) ^ "x";
+         ])
+       drift_rows);
+  (* acceptance scalars, machine-readable *)
+  let ratio_floor = 0.6 in
+  let static_ok =
+    List.for_all
+      (fun (_, none, pgo, static, _) ->
+        let gp = gain pgo none and gs = gain static none in
+        (* workloads PGO itself barely helps (compute-bound shapes) are
+           judged on absolute loss instead of the ratio *)
+        gp <= 0.05 *. none.Metrics.throughput || gs >= ratio_floor *. gp)
+      matrix
+  in
+  let hybrid_ok =
+    List.for_all
+      (fun (_, none, pgo, _, hybrid) -> gain hybrid none >= gain pgo none -. 1e-9)
+      matrix
+  in
+  let drift_ok =
+    List.for_all
+      (fun (_, _, stale, _, static) ->
+        static.Metrics.throughput >= stale.Metrics.throughput)
+      drift_rows
+  in
+  List.iter
+    (fun (name, none, pgo, static, hybrid) ->
+      let gp = gain pgo none in
+      Experiment.record
+        (Printf.sprintf "static_gain_ratio_%s" name)
+        (if gp > 1e-9 then Stallhide_util.Json.Float (gain static none /. gp)
+         else Stallhide_util.Json.Null);
+      Experiment.record
+        (Printf.sprintf "hybrid_gain_ratio_%s" name)
+        (if gp > 1e-9 then Stallhide_util.Json.Float (gain hybrid none /. gp)
+         else Stallhide_util.Json.Null))
+    matrix;
+  Experiment.record "static_ge_60pct_pgo" (Stallhide_util.Json.Bool static_ok);
+  Experiment.record "hybrid_ge_pgo" (Stallhide_util.Json.Bool hybrid_ok);
+  Experiment.record "static_beats_stale_pgo" (Stallhide_util.Json.Bool drift_ok);
+  if not static_ok then failwith "C22: static placement under 60% of PGO gain";
+  if not hybrid_ok then failwith "C22: hybrid placement lost to plain PGO";
+  if not drift_ok then failwith "C22: static placement lost to a stale PGO binary under drift"
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1084,6 +1228,7 @@ let experiments =
     ("C18", c18);
     ("C19", c19);
     ("C21", c21);
+    ("C22", c22);
   ]
 
 let () =

@@ -110,6 +110,15 @@ let mechanism_arg =
   Arg.(value & opt (enum (List.map (fun m -> (m, m)) mechanisms)) "pgo"
        & info [ "m"; "mechanism" ] ~docv:"MECH" ~doc)
 
+let placement_arg =
+  Arg.(value
+       & opt (enum [ ("pgo", "pgo"); ("static", "static"); ("hybrid", "hybrid") ]) "pgo"
+       & info [ "placement" ] ~docv:"MODE"
+           ~doc:
+             "Yield-site placement evidence for the pgo mechanism: $(b,pgo) \
+              (profile-guided, the default), $(b,static) (must/may cache analysis, no \
+              profiling run at all), $(b,hybrid) (profile plus proven static overrides).")
+
 (* A nonzero drop counter means the trace buffer wrapped: counters are
    exact but the event timeline (and anything derived from it —
    Perfetto tracks, attribution, critical paths) under-reports. Always
@@ -123,11 +132,19 @@ let warn_dropped label stream =
       label d
 
 let run_cmd =
-  let run workload mechanism lanes ops seed policy interval json trace_out prom_out attribution
-      no_verify =
+  let run workload mechanism placement lanes ops seed policy interval json trace_out prom_out
+      attribution no_verify =
     check_workload workload;
     if attribution && mechanism <> "pgo" then begin
       Printf.eprintf "stallhide: --attribution needs --mechanism pgo (got %s)\n" mechanism;
+      exit 2
+    end;
+    if attribution && placement <> "pgo" then begin
+      Printf.eprintf "stallhide: --attribution needs --placement pgo (got %s)\n" placement;
+      exit 2
+    end;
+    if placement <> "pgo" && mechanism <> "pgo" then begin
+      Printf.eprintf "stallhide: --placement applies to --mechanism pgo (got %s)\n" mechanism;
       exit 2
     end;
     let module Obs = Stallhide_obs in
@@ -165,6 +182,18 @@ let run_cmd =
             Some a.Baselines.inst,
             Some a.Baselines.attribution,
             Some a.Baselines.stream )
+      | "pgo" when placement = "static" ->
+          let m, i =
+            Baselines.run_static ~opts ~primary ?scavenger_interval:interval
+              ~verify:(not no_verify) (w false)
+          in
+          (m, Some i, None, stream)
+      | "pgo" when placement = "hybrid" ->
+          let m, i =
+            Baselines.run_hybrid ~opts ~primary ?scavenger_interval:interval
+              ~verify:(not no_verify) (w false)
+          in
+          (m, Some i, None, stream)
       | "pgo" ->
           let m, i =
             Baselines.run_pgo ~opts ~primary ?scavenger_interval:interval
@@ -220,6 +249,7 @@ let run_cmd =
                  ("schema_version", Stallhide_util.Json.Int 1);
                  ("workload", Stallhide_util.Json.String workload);
                  ("mechanism", Stallhide_util.Json.String mechanism);
+                 ("placement", Stallhide_util.Json.String placement);
                  ("metrics", Metrics.to_json metrics);
                ]
               @ telemetry @ attr_json)))
@@ -267,10 +297,57 @@ let run_cmd =
   in
   let term =
     Term.(
-      const run $ workload_arg $ mechanism_arg $ lanes_arg $ ops_arg $ seed_arg $ policy_arg
-      $ interval_arg $ json_arg $ trace_out_arg $ prom_out_arg $ attribution_arg $ no_verify_arg)
+      const run $ workload_arg $ mechanism_arg $ placement_arg $ lanes_arg $ ops_arg $ seed_arg
+      $ policy_arg $ interval_arg $ json_arg $ trace_out_arg $ prom_out_arg $ attribution_arg
+      $ no_verify_arg)
   in
   Cmd.v (Cmd.info "run" ~doc:"Run a workload under a stall-hiding mechanism and print metrics.")
+    term
+
+(* analyze *)
+
+let analyze_cmd =
+  let module A = Stallhide_analysis.Analysis in
+  let analyze workload lanes ops seed json strict =
+    check_workload workload;
+    let w = make_workload workload ~lanes ~ops ~manual:false ~seed in
+    let a = A.run w.Workload.program in
+    if json then print_endline (Stallhide_util.Json.to_string_pretty (A.to_json a))
+    else Format.printf "%a@." A.pp_table a;
+    if strict then begin
+      let v = A.strict_violations a in
+      if (not a.A.converged) || v <> [] then begin
+        Printf.eprintf
+          "stallhide: analyze --strict: %d unknown load(s) inside loops%s\n"
+          (List.length v)
+          (if a.A.converged then "" else " (analysis did not converge)");
+        exit 1
+      end
+    end
+  in
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:
+               "Emit the per-site classification, loop bounds and summary counts as JSON \
+                (schema_version 1).")
+  in
+  let strict_arg =
+    Arg.(value & flag
+         & info [ "strict" ]
+             ~doc:
+               "Exit nonzero when any load inside a loop is classified $(b,unknown) (or the \
+                fixpoint failed to converge) — the CI gate for provably-placed binaries.")
+  in
+  let term =
+    Term.(const analyze $ workload_arg $ lanes_arg $ ops_arg $ seed_arg $ json_arg $ strict_arg)
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Run the static must/may cache analysis on a workload's program: classify every \
+          load/store as always-hit / always-miss / unknown, infer counted-loop trip counts, \
+          and report the proof obligations behind profile-free yield placement.")
     term
 
 (* disasm *)
@@ -736,8 +813,8 @@ let smp_cmd =
   let module Smp = Stallhide_smp in
   let module Obs = Stallhide_obs in
   let module J = Stallhide_util.Json in
-  let smp workload cores policy steal pgo seed requests_per_core interarrival skew json
-      trace_out =
+  let smp workload cores policy steal pgo placement seed requests_per_core interarrival skew
+      json trace_out =
     (* the multi-core harness serves the sharded kv-server; other
        workloads keep their single-core `run` path *)
     (match workload with
@@ -756,6 +833,14 @@ let smp_cmd =
           Printf.eprintf "stallhide: unknown policy %S (available: d-fcfs, jbsq)\n" policy;
           exit 2
     in
+    let placement =
+      match Smp.Harness.placement_of_string placement with
+      | Some p -> p
+      | None ->
+          Printf.eprintf "stallhide: unknown placement %S (available: pgo, static, hybrid)\n"
+            placement;
+          exit 2
+    in
     let params =
       {
         Smp.Harness.default_params with
@@ -763,6 +848,7 @@ let smp_cmd =
         policy;
         steal;
         pgo;
+        placement;
         seed;
         requests_per_core;
         interarrival;
@@ -816,10 +902,12 @@ let smp_cmd =
     else begin
       let res = r.Smp.Harness.result in
       let s = res.Smp.Machine.summary in
-      Printf.printf "smp: %d core(s), policy %s, steal %s, pgo %s, seed %d\n" cores
+      Printf.printf "smp: %d core(s), policy %s, steal %s, pgo %s (%s placement), seed %d\n"
+        cores
         (Stallhide_sched.Dispatch.policy_name policy)
         (if steal then "on" else "off")
         (if pgo then "on" else "off")
+        (Smp.Harness.placement_name placement)
         seed;
       Printf.printf "requests: %d completed, %d faulted in %d cycles (%.3f req/kcycle)\n"
         res.Smp.Machine.completed res.Smp.Machine.faulted res.Smp.Machine.cycles
@@ -886,6 +974,14 @@ let smp_cmd =
              (false, info [ "no-pgo" ] ~doc:"Serve uninstrumented programs (no stall hiding).");
            ])
   in
+  let smp_placement_arg =
+    Arg.(value
+         & opt (enum [ ("pgo", "pgo"); ("static", "static"); ("hybrid", "hybrid") ]) "pgo"
+         & info [ "placement" ] ~docv:"MODE"
+             ~doc:
+               "Site-selection evidence for the served programs: $(b,pgo) | $(b,static) | \
+                $(b,hybrid) (see $(b,run --placement)). Ignored under --no-pgo.")
+  in
   let requests_arg =
     Arg.(value & opt int Stallhide_smp.Harness.default_params.Stallhide_smp.Harness.requests_per_core
          & info [ "requests-per-core" ] ~docv:"N" ~doc:"Offered requests per core.")
@@ -912,7 +1008,8 @@ let smp_cmd =
   let term =
     Term.(
       const smp $ smp_workload_arg $ cores_arg $ smp_policy_arg $ steal_arg $ pgo_arg
-      $ seed_arg $ requests_arg $ interarrival_arg $ skew_arg $ json_arg $ trace_out_arg)
+      $ smp_placement_arg $ seed_arg $ requests_arg $ interarrival_arg $ skew_arg $ json_arg
+      $ trace_out_arg)
   in
   Cmd.v
     (Cmd.info "smp"
@@ -1085,7 +1182,7 @@ let fuzz_cmd =
                   | None ->
                       Printf.eprintf
                         "stallhide: unknown oracle %S (available: primary, scavenger, smp, \
-                         fault, mutant, all)\n"
+                         fault, soundness, mutant, all)\n"
                         n;
                       exit 2)
                 names
@@ -1118,8 +1215,9 @@ let fuzz_cmd =
          & info [ "oracle" ] ~docv:"NAME"
              ~doc:
                "Oracle(s) to run: $(b,primary), $(b,scavenger), $(b,smp), $(b,fault), \
+                $(b,soundness) (static cache analysis vs simulator ground truth), \
                 $(b,mutant) (deliberately broken pass, for shrinker demos), or $(b,all) \
-                (the four real ones). Repeatable; default all.")
+                (the five real ones). Repeatable; default all.")
   in
   let no_shrink_arg =
     Arg.(value & flag
@@ -1157,7 +1255,7 @@ let () =
   let info = Cmd.info "stallhide" ~version:"1.0.0" ~doc in
   let group =
     Cmd.group info
-      [ run_cmd; disasm_cmd; instrument_cmd; lint_cmd; profile_cmd; trace_cmd; inject_cmd; smp_cmd; why_cmd; fuzz_cmd ]
+      [ run_cmd; analyze_cmd; disasm_cmd; instrument_cmd; lint_cmd; profile_cmd; trace_cmd; inject_cmd; smp_cmd; why_cmd; fuzz_cmd ]
   in
   (* Fail-fast contract of the pipeline: a rewrite the verifier rejects
      never runs. Render the diagnostics instead of a backtrace. *)

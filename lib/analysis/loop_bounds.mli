@@ -1,0 +1,41 @@
+(** Proven iteration counts for counted loops.
+
+    Covers the canonical counted-loop shape — a single back edge whose
+    latch tests an induction register against a loop-invariant constant,
+    with exactly one [add/sub rc, rc, #imm] step per iteration — which
+    is the shape both the fuzz generator and the built-in workloads
+    emit. Anything else (merged back edges, calls in the body, multiple
+    or conditional induction steps, data-dependent limits) is simply
+    not bounded; consumers must treat absence as "unbounded".
+
+    The trip count is obtained by iterating the {i exact} machine
+    arithmetic of the step and the latch comparison, so overflow and
+    skipped-limit loops ([i != n] stepping by 2) are handled by
+    construction; a cap of 2^22 iterations bounds the simulation. *)
+
+open Stallhide_isa
+open Stallhide_binopt
+
+type bound = {
+  header : int;  (** header block id *)
+  header_pc : int;  (** first pc of the header block *)
+  body : int list;  (** body block ids, header included *)
+  latch : int;  (** back-edge source block id *)
+  induction : Reg.t;
+  step : int;  (** signed per-iteration increment *)
+  init : int;  (** induction value on loop entry *)
+  limit : int;  (** comparison operand *)
+  cond : Instr.cond;
+  continue_if_taken : bool;
+  trips : int;  (** proven number of iterations, >= 1 *)
+}
+
+(** Pcs of a body block list, in order. *)
+val body_pcs : Cfg.t -> int list -> int list
+
+(** Bound every counted natural loop of the CFG. [envs] must come from
+    {!Value.block_envs} on the same CFG. *)
+val infer : Cfg.t -> Dominators.t -> Value.envs -> bound list
+
+(** Proven trip count of the loop whose header starts at [header_pc]. *)
+val trips_at : bound list -> header_pc:int -> int option

@@ -38,6 +38,47 @@ let of_ground_truth table =
         | Some _ | None -> None);
   }
 
+(* --- static-analysis placement --- *)
+
+type cls = Hit | Miss | Unknown_ptr | Unknown_strided | Unknown_opaque
+
+type classifier = {
+  cls_at : int -> cls option;
+  static_est : estimates;
+}
+
+type placement = Pgo | Static of classifier | Hybrid of classifier
+
+let placement_name = function
+  | Pgo -> "pgo"
+  | Static _ -> "static"
+  | Hybrid _ -> "hybrid"
+
+let place placement est =
+  match placement with
+  | Pgo -> est
+  | Static c -> c.static_est
+  | Hybrid c ->
+      (* proven facts override the profile; where the analysis is
+         unsure, the profile speaks first and static priors back-fill
+         pcs the (possibly stale or truncated) profile never sampled *)
+      {
+        miss_probability =
+          (fun pc ->
+            match c.cls_at pc with
+            | Some Hit -> Some 0.0
+            | Some Miss -> Some 1.0
+            | Some (Unknown_ptr | Unknown_strided | Unknown_opaque) | None -> (
+                match est.miss_probability pc with
+                | Some _ as p -> p
+                | None -> c.static_est.miss_probability pc));
+        stall_per_miss =
+          (fun pc ->
+            match est.stall_per_miss pc with
+            | Some _ as s -> s
+            | None -> c.static_est.stall_per_miss pc);
+      }
+
 type policy = Always | Threshold of float | Cost_benefit
 
 let policy_name = function

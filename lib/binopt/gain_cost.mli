@@ -36,6 +36,35 @@ val of_profile : Stallhide_pmu.Profile.t -> estimates
     cycles), measured exactly. *)
 val of_ground_truth : (int, int * int * int) Hashtbl.t -> estimates
 
+(** Per-site verdict of the static must/may cache analysis
+    ([Stallhide_analysis] — kept abstract here so the optimizer layer
+    does not depend on it). *)
+type cls =
+  | Hit  (** proven to hit L1/L2 on every execution *)
+  | Miss  (** proven to go to L3/DRAM on every execution *)
+  | Unknown_ptr  (** unresolved: pointer-chasing base *)
+  | Unknown_strided  (** unresolved: induction-variable base *)
+  | Unknown_opaque  (** unresolved: no address information *)
+
+type classifier = {
+  cls_at : int -> cls option;  (** [None] for pcs that are not loads *)
+  static_est : estimates;
+      (** profile-free estimators: proven sites at probability 0/1,
+          unknown sites at taint-class priors *)
+}
+
+type placement =
+  | Pgo  (** profile estimates only (the paper's §3 placement) *)
+  | Static of classifier  (** static analysis only — no profile needed *)
+  | Hybrid of classifier
+      (** proven facts override the profile; priors back-fill unsampled
+          pcs *)
+
+val placement_name : placement -> string
+
+(** Combine profile estimates with the placement mode's classifier. *)
+val place : placement -> estimates -> estimates
+
 type policy =
   | Always  (** instrument every load (dense, expert-free upper bound) *)
   | Threshold of float  (** instrument when estimated miss probability >= t *)

@@ -9,6 +9,13 @@
     the §4.1 hardware-supported variant that tests residency first
     (conditional sites are not coalesced).
 
+    Under [Static] placement the choice is per site: loads the analysis
+    proved [Always_miss] keep the unconditional [prefetch; yield]
+    (the residency check could never pass), while sites placed on a
+    taint prior alone get a [Yield_cond] — a prior is a bet, and the
+    residency check caps the cost of losing it at one check instead of
+    a full context switch.
+
     After rewriting, yield sites are liveness-annotated so the runtime
     charges the reduced switch cost. *)
 
@@ -24,6 +31,11 @@ type opts = {
       (** also place a yield before every [Accel_wait] the profile saw
           stalling ([stalls_at] via [wait_stalls]); the operation is
           already in flight, so no prefetch is needed (default true) *)
+  placement : Gain_cost.placement;
+      (** where site estimates come from: the supplied profile
+          estimates ([Pgo], default), the static analysis alone
+          ([Static] — the estimates argument is ignored), or proven
+          static facts layered over the profile ([Hybrid]) *)
 }
 
 val default_opts : opts

@@ -5,10 +5,16 @@ type opts = {
   target_interval : int;
   pc_cycles : int -> float option;
   load_static_latency : int;
+  loop_bounds : int -> int option;
 }
 
 let default_opts =
-  { target_interval = 200; pc_cycles = (fun _ -> None); load_static_latency = 4 }
+  {
+    target_interval = 200;
+    pc_cycles = (fun _ -> None);
+    load_static_latency = 4;
+    loop_bounds = (fun _ -> None);
+  }
 
 type report = { inserted : int; sites : int list; uncovered_loops : int }
 
@@ -55,6 +61,50 @@ let run opts prog =
             (Hashtbl.copy open_windows))
     done
   done;
+  (* Yield-free natural loops would otherwise feed the distance fixpoint
+     unboundedly (PR 5 papered over this with a cap proportional to the
+     target interval). With proven trip counts the loop is handled
+     head-on: if its total extra distance — (trips - 1) times the summed
+     body cost — fits inside the target, the back edge is cut and the
+     header charged that budget; otherwise a scavenger yield is seeded
+     in the loop body up front (latch block preferred, atomicity
+     windows respected when possible), which caps the feedback the
+     moment the fixpoint starts. *)
+  let budget = Array.make nb 0.0 in
+  let cut = Hashtbl.create 8 in
+  List.iter
+    (fun (l : Dominators.loop) ->
+      let body_pcs =
+        List.concat_map
+          (fun id ->
+            let b = Cfg.block cfg id in
+            List.init (b.Cfg.last - b.Cfg.first + 1) (fun i -> b.Cfg.first + i))
+          l.Dominators.body
+      in
+      let body_cost = List.fold_left (fun acc pc -> acc +. cost pc) 0.0 body_pcs in
+      let header_pc = (Cfg.block cfg l.Dominators.header).Cfg.first in
+      let proven =
+        match opts.loop_bounds header_pc with
+        | Some t when float_of_int (t - 1) *. body_cost <= target -> Some t
+        | Some _ | None -> None
+      in
+      match proven with
+      | Some t ->
+          Hashtbl.replace cut (l.Dominators.header, l.Dominators.back_edge_src) ();
+          budget.(l.Dominators.header) <-
+            budget.(l.Dominators.header) +. (float_of_int (t - 1) *. body_cost)
+      | None ->
+          (* seed one yield: last insertable pc of the latch block, else
+             the first body pc — an unbounded yield-free loop must get a
+             yield even inside an atomicity window *)
+          let latch = Cfg.block cfg l.Dominators.back_edge_src in
+          let site = ref (-1) in
+          for pc = latch.Cfg.first to latch.Cfg.last do
+            if not no_insert.(pc) then site := pc
+          done;
+          let site = if !site >= 0 then !site else latch.Cfg.first in
+          Hashtbl.replace planned site ())
+    (Dominators.unyielded_loops cfg);
   let dist_out = Array.make nb 0.0 in
   (* Walk a block with incoming distance [d0], greedily planning a yield
      before any instruction that would push the distance past target.
@@ -81,13 +131,11 @@ let run opts prog =
     !d
   in
   (* Fixpoint: incoming distance of a block is the max over predecessor
-     outgoing distances. The planned set only grows, so this terminates;
-     cap iterations defensively. The cap must leave room for a yield-free
-     cycle's distance to actually cross the target — it grows by at least
-     one cycle per iteration around a back edge, so a cap proportional to
-     the target is needed before the planner sees that a short loop (body
-     cost << target) is unbounded and plants a yield in it. *)
-  let max_iters = (2 * nb) + opts.target_interval + 8 in
+     outgoing distances — minus cut (budgeted) back edges, plus the
+     header budgets. Every yield-free loop was budgeted or seeded with
+     a yield above, so all remaining feedback passes a yield and the
+     fixpoint converges in O(nb) rounds; the cap is defensive only. *)
+  let max_iters = (2 * nb) + 8 in
   let iter = ref 0 in
   let changed = ref true in
   while !changed && !iter < max_iters do
@@ -95,7 +143,12 @@ let run opts prog =
     incr iter;
     for id = 0 to nb - 1 do
       let b = Cfg.block cfg id in
-      let d0 = List.fold_left (fun acc p -> max acc dist_out.(p)) 0.0 b.Cfg.preds in
+      let d0 =
+        List.fold_left
+          (fun acc p -> if Hashtbl.mem cut (id, p) then acc else max acc dist_out.(p))
+          0.0 b.Cfg.preds
+        +. budget.(id)
+      in
       let before = Hashtbl.length planned in
       let out = walk_block true b d0 in
       if Hashtbl.length planned <> before || abs_float (out -. dist_out.(id)) > 1e-9 then begin
@@ -110,5 +163,21 @@ let run opts prog =
         if Hashtbl.mem planned pc then [ Instr.Yield Instr.Scavenger ] else [])
   in
   Liveness.annotate_yields prog';
-  let uncovered_loops = List.length (Dominators.unyielded_loops (Cfg.build prog')) in
+  (* budgeted loops are intentionally yield-free: their proven trip
+     budget bounds the interval, so they are covered, not uncovered *)
+  let budgeted_headers = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun (header, _) () ->
+      Hashtbl.replace budgeted_headers (Cfg.block cfg header).Cfg.first ())
+    cut;
+  let cfg' = Cfg.build prog' in
+  let uncovered_loops =
+    List.length
+      (List.filter
+         (fun (l : Dominators.loop) ->
+           let first' = (Cfg.block cfg' l.Dominators.header).Cfg.first in
+           let orig = if first' < Array.length map then map.(first') else -1 in
+           not (Hashtbl.mem budgeted_headers orig))
+         (Dominators.unyielded_loops cfg'))
+  in
   (prog', map, { inserted = List.length sites; sites; uncovered_loops })

@@ -24,6 +24,13 @@ type opts = {
   target_interval : int;  (** desired inter-yield distance, cycles *)
   pc_cycles : int -> float option;  (** LBR estimate per execution of a pc *)
   load_static_latency : int;  (** static fallback added to a load's base cost *)
+  loop_bounds : int -> int option;
+      (** proven trip count of the yield-free loop whose header starts
+          at the given pc (e.g. [Stallhide_analysis.Loop_bounds.trips_at]
+          partially applied). A bounded loop whose total extra distance
+          fits the target is budgeted instead of yielded; everything
+          else gets a scavenger yield seeded in its body. Default: no
+          bounds proven. *)
 }
 
 val default_opts : opts

@@ -10,15 +10,16 @@ open Stallhide_sched
 open Stallhide_smp
 open Stallhide_faults
 
-type name = Primary | Scavenger | Smp | Fault | Mutant
+type name = Primary | Scavenger | Smp | Fault | Soundness | Mutant
 
-let all = [ Primary; Scavenger; Smp; Fault ]
+let all = [ Primary; Scavenger; Smp; Fault; Soundness ]
 
 let to_string = function
   | Primary -> "primary"
   | Scavenger -> "scavenger"
   | Smp -> "smp"
   | Fault -> "fault"
+  | Soundness -> "soundness"
   | Mutant -> "mutant"
 
 let of_string = function
@@ -26,6 +27,7 @@ let of_string = function
   | "scavenger" -> Some Scavenger
   | "smp" -> Some Smp
   | "fault" -> Some Fault
+  | "soundness" -> Some Soundness
   | "mutant" -> Some Mutant
   | _ -> None
 
@@ -240,6 +242,91 @@ let check_fault cfg prog =
   let rogue_arm = run_rr "rogue" ~extra:rogues cfg prog' in
   expect_equal ~ref_arm:clean ~label:"rogue-scavenger run" rogue_arm
 
+(* --- static-analysis soundness vs simulator ground truth --- *)
+
+(* A small validated family of hierarchies, drawn per case, so the
+   must/may transfer rules are exercised across line sizes,
+   associativities and capacities — not just the default geometry. *)
+let mem_samples =
+  let lvl size_bytes ways latency = { Memconfig.size_bytes; ways; latency } in
+  let d = Memconfig.default in
+  [
+    d;
+    (* tiny low-associativity caches: conflict evictions dominate *)
+    { d with Memconfig.l1 = lvl 512 2 2; l2 = lvl 4096 4 9 };
+    (* wide lines: more accesses share an abstract key *)
+    { d with Memconfig.line_bytes = 128 };
+    (* direct-mapped L1: age bound = 0, evict-on-any-other-key *)
+    { d with Memconfig.l1 = lvl 1024 1 4 };
+    (* slow memory + pricier prefetch issue *)
+    { d with Memconfig.dram_latency = 400; prefetch_issue_cost = 3 };
+  ]
+
+let sample_mem seed =
+  let m = List.nth mem_samples (abs seed mod List.length mem_samples) in
+  Memconfig.validate m;
+  m
+
+(* The analysis's two hard claims, checked against full-trace per-load
+   statistics from the simulator ([Pipeline.ground_truth], where a miss
+   is a load served beyond L2):
+
+   - [Always_hit] loads may never record a miss, in the full multi-lane
+     sequential run — the claim is path-universal, so any interleaving
+     of lanes through one hierarchy must respect it;
+   - [Always_miss] loads must miss on {e every} execution, checked on a
+     1-lane run: the proof is cold-start first-touch, and with several
+     lanes an earlier lane's touch legitimately warms the line for a
+     later one. *)
+let check_soundness cfg prog =
+  (* validity gate, as in [check_smp]: faulting cases are Invalid *)
+  ignore (reference cfg prog);
+  let mem = sample_mem cfg.Gen.seed in
+  let module A = Stallhide_analysis.Analysis in
+  let analysis = A.run ~mem prog in
+  (* metamorphic: classification is a pure function of (mem, prog) *)
+  let again = A.run ~mem prog in
+  List.iter2
+    (fun (s : A.site) (s' : A.site) ->
+      if s.A.cls <> s'.A.cls then
+        raise
+          (Cex
+             (Printf.sprintf "soundness: nondeterministic classification at pc %d (%s vs %s)"
+                s.A.pc
+                (Stallhide_analysis.Cache_domain.cls_name s.A.cls)
+                (Stallhide_analysis.Cache_domain.cls_name s'.A.cls))))
+    analysis.A.sites again.A.sites;
+  let gt lanes =
+    Pipeline.ground_truth ~mem_cfg:mem (Gen.workload ~prog { cfg with Gen.lanes })
+  in
+  let multi = gt cfg.Gen.lanes in
+  List.iter
+    (fun (s : A.site) ->
+      match s.A.cls with
+      | Stallhide_analysis.Cache_domain.Always_hit -> (
+          match Hashtbl.find_opt multi s.A.pc with
+          | Some (execs, misses, _) when misses > 0 ->
+              raise
+                (Cex
+                   (Printf.sprintf
+                      "soundness: Always_hit load at pc %d missed %d of %d execution(s)"
+                      s.A.pc misses execs))
+          | _ -> ())
+      | _ -> ())
+    (A.load_sites analysis);
+  let single = gt 1 in
+  List.iter
+    (fun pc ->
+      match Hashtbl.find_opt single pc with
+      | Some (execs, misses, _) when misses < execs ->
+          raise
+            (Cex
+               (Printf.sprintf
+                  "soundness: Always_miss load at pc %d hit %d of %d execution(s) (1-lane)"
+                  pc (execs - misses) execs))
+      | _ -> ())
+    (A.always_miss_pcs analysis)
+
 let clobber_loads prog =
   Program.to_items prog
   |> List.concat_map (fun item ->
@@ -262,6 +349,7 @@ let check name cfg prog =
     | Scavenger -> check_scavenger
     | Smp -> check_smp
     | Fault -> check_fault
+    | Soundness -> check_soundness
     | Mutant -> check_mutant
   in
   match f cfg prog with

@@ -17,6 +17,12 @@
     - [Fault] — instrumented round-robin, clean vs under an injected
       L3/DRAM latency spike and vs rogue scavenger co-runners: state
       must be preserved and a spike may only {e degrade} timing;
+    - [Soundness] — the static must/may cache analysis
+      ({!Stallhide_analysis}) vs simulator ground truth under a
+      per-case sampled {!Stallhide_mem.Memconfig}: an [Always_hit]
+      load may never record a miss (multi-lane run), an [Always_miss]
+      load must miss on every execution (1-lane cold-start run), and
+      classification must be deterministic;
     - [Mutant] — a deliberately broken pass (clobbers every load's
       destination register, the classic missed-context-restore bug).
       It must always fail; it exists to prove the oracles can see
@@ -25,9 +31,9 @@
 
 open Stallhide_isa
 
-type name = Primary | Scavenger | Smp | Fault | Mutant
+type name = Primary | Scavenger | Smp | Fault | Soundness | Mutant
 
-(** The four real oracles — the default fuzz campaign. *)
+(** The five real oracles — the default fuzz campaign. *)
 val all : name list
 
 val to_string : name -> string

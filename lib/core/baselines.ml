@@ -101,6 +101,48 @@ let run_pgo ?label ?opts ?profile_config ?primary ?scavenger_interval ?verify w 
   let label = match label with Some l -> l | None -> w.Workload.name ^ "/pgo" in
   (run_round_robin ~label ?opts w', inst)
 
+(* Profile-free placement: the static must/may analysis classifies the
+   loads, its taint priors price the rest — no profiling run at all. *)
+let run_static ?label ?opts ?(primary = Stallhide_binopt.Primary_pass.default_opts)
+    ?scavenger_interval ?verify w =
+  let o = match opts with Some o -> o | None -> default_opts in
+  let analysis = Stallhide_analysis.Analysis.run ~mem:o.mem_cfg w.Workload.program in
+  let classifier = Stallhide_analysis.Analysis.to_classifier analysis in
+  let primary =
+    { primary with
+      Stallhide_binopt.Primary_pass.placement = Stallhide_binopt.Gain_cost.Static classifier }
+  in
+  let no_estimates =
+    {
+      Stallhide_binopt.Gain_cost.miss_probability = (fun _ -> None);
+      stall_per_miss = (fun _ -> None);
+    }
+  in
+  let inst =
+    Pipeline.instrument_with ~estimates:no_estimates ~primary ?scavenger_interval
+      ?verify w.Workload.program
+  in
+  let w' = Workload.with_program w inst.Pipeline.program in
+  let label = match label with Some l -> l | None -> w.Workload.name ^ "/static" in
+  (run_round_robin ~label ?opts w', inst)
+
+(* Hybrid: proven static facts override the profile; priors back-fill
+   pcs the profile never sampled. *)
+let run_hybrid ?label ?opts ?profile_config
+    ?(primary = Stallhide_binopt.Primary_pass.default_opts) ?scavenger_interval
+    ?verify w =
+  let o = match opts with Some o -> o | None -> default_opts in
+  let analysis = Stallhide_analysis.Analysis.run ~mem:o.mem_cfg w.Workload.program in
+  let classifier = Stallhide_analysis.Analysis.to_classifier analysis in
+  let primary =
+    { primary with
+      Stallhide_binopt.Primary_pass.placement = Stallhide_binopt.Gain_cost.Hybrid classifier }
+  in
+  let profiled = Pipeline.profile ?config:profile_config ~mem_cfg:o.mem_cfg w in
+  let w', inst = Pipeline.instrument ~primary ?scavenger_interval ?verify profiled w in
+  let label = match label with Some l -> l | None -> w.Workload.name ^ "/hybrid" in
+  (run_round_robin ~label ?opts w', inst)
+
 type attributed = {
   pgo_metrics : Metrics.t;
   inst : Pipeline.instrumented;

@@ -61,6 +61,30 @@ val run_pgo :
   Workload.t ->
   Metrics.t * Pipeline.instrumented
 
+(** Profile-free placement: runs the static must/may cache analysis
+    ({!Stallhide_analysis}) instead of a profiling pass, instruments
+    with [placement = Static], and measures under round-robin. *)
+val run_static :
+  ?label:string ->
+  ?opts:opts ->
+  ?primary:Stallhide_binopt.Primary_pass.opts ->
+  ?scavenger_interval:int ->
+  ?verify:bool ->
+  Workload.t ->
+  Metrics.t * Pipeline.instrumented
+
+(** {!run_pgo} with [placement = Hybrid]: proven static facts override
+    the profile, taint priors back-fill unsampled pcs. *)
+val run_hybrid :
+  ?label:string ->
+  ?opts:opts ->
+  ?profile_config:Pipeline.profile_config ->
+  ?primary:Stallhide_binopt.Primary_pass.opts ->
+  ?scavenger_interval:int ->
+  ?verify:bool ->
+  Workload.t ->
+  Metrics.t * Pipeline.instrumented
+
 type attributed = {
   pgo_metrics : Metrics.t;
   inst : Pipeline.instrumented;

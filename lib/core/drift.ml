@@ -50,10 +50,11 @@ let assess ?(config = default_config) ?obs (report : Stallhide_obs.Attribution.r
    reassembly resets them. The paired prefetch is left in place — a
    prefetch of an already-resident line is nearly free, while the
    unconditional switch behind it is the cost being recovered. *)
-let deinstrument ?obs program ~pcs =
+let deinstrument ?obs ?(protect = fun _ -> false) program ~pcs =
   let doomed = Hashtbl.create 16 in
   List.iter (fun pc -> Hashtbl.replace doomed pc ()) pcs;
   let removed = ref 0 in
+  let protected = ref 0 in
   let pc = ref 0 in
   let items =
     List.map
@@ -66,8 +67,19 @@ let deinstrument ?obs program ~pcs =
             if Hashtbl.mem doomed here then (
               match ins with
               | Instr.Yield _ | Instr.Yield_cond _ ->
-                  incr removed;
-                  Program.Ins Instr.Nop
+                  (* a site the static analysis proved always-miss is
+                     useful on every execution whatever the profile
+                     says: the attribution signal against it is noise
+                     (or an adversarial drift fault), so the yield
+                     stays *)
+                  if protect here then begin
+                    incr protected;
+                    item
+                  end
+                  else begin
+                    incr removed;
+                    Program.Ins Instr.Nop
+                  end
               | _ -> item)
             else item)
       (Program.to_items program)
@@ -77,17 +89,22 @@ let deinstrument ?obs program ~pcs =
     (Program.annot program' i).Program.live_regs <- (Program.annot program i).Program.live_regs
   done;
   (match obs with
-  | Some s when !removed > 0 ->
-      Stallhide_obs.Registry.incr ~by:!removed
-        (Stallhide_obs.Registry.counter
-           (Stallhide_obs.Stream.registry s)
-           ~ctx:(-1) "drift.deinstrumented")
-  | _ -> ());
+  | Some s ->
+      let counter name = Stallhide_obs.Registry.counter
+          (Stallhide_obs.Stream.registry s) ~ctx:(-1) name
+      in
+      if !removed > 0 then
+        Stallhide_obs.Registry.incr ~by:!removed (counter "drift.deinstrumented");
+      if !protected > 0 then
+        Stallhide_obs.Registry.incr ~by:!protected (counter "drift.protected")
+  | None -> ());
   program'
 
-let adapt ?config ?obs report program =
+let adapt ?config ?obs ?protect report program =
   let v = assess ?config ?obs report in
   let program' =
-    match v.losing with [] -> program | _ -> deinstrument ?obs program ~pcs:(losing_pcs v)
+    match v.losing with
+    | [] -> program
+    | _ -> deinstrument ?obs ?protect program ~pcs:(losing_pcs v)
   in
   (program', v)

@@ -15,8 +15,16 @@
     the whole profile is flagged stale ([verdict.stale]) — the signal to
     re-profile rather than keep patching.
 
+    De-instrumentation defers to the static analysis: a yield covering
+    a load proven [Always_miss] ({!Stallhide_analysis}) is useful on
+    every execution regardless of what the (possibly corrupted or
+    stale) attribution stream claims, so [protect] can pin such sites
+    — the stale-profile defense must never turn off provably-useful
+    yields.
+
     Counters (registry of the [obs] stream, ctx −1):
-    [drift.losing_sites], [drift.stale], [drift.deinstrumented]. *)
+    [drift.losing_sites], [drift.stale], [drift.deinstrumented],
+    [drift.protected]. *)
 
 open Stallhide_isa
 
@@ -46,14 +54,22 @@ val assess : ?config:config -> ?obs:Stallhide_obs.Stream.t -> Stallhide_obs.Attr
 (** Replace the yields at [pcs] with [Nop], preserving program length,
     pc numbering and liveness annotations (the paired prefetches stay:
     prefetching a resident line is nearly free). Non-yield pcs are left
-    untouched. *)
-val deinstrument : ?obs:Stallhide_obs.Stream.t -> Program.t -> pcs:int list -> Program.t
+    untouched. [protect pc] (instrumented coordinates) pins a yield:
+    it is kept even when listed in [pcs], counted in
+    [drift.protected]. *)
+val deinstrument :
+  ?obs:Stallhide_obs.Stream.t ->
+  ?protect:(int -> bool) ->
+  Program.t ->
+  pcs:int list ->
+  Program.t
 
 (** [assess] + [deinstrument] of the losing sites in one step; returns
     the program unchanged when nothing is losing. *)
 val adapt :
   ?config:config ->
   ?obs:Stallhide_obs.Stream.t ->
+  ?protect:(int -> bool) ->
   Stallhide_obs.Attribution.report ->
   Program.t ->
   Program.t * verdict

@@ -72,7 +72,8 @@ let totals stream keys =
 let metrics_latency (m : Metrics.t) =
   match m.Metrics.latency with Some s -> s | None -> Latency.empty_summary
 
-let drift_keys = [ "drift.losing_sites"; "drift.deinstrumented"; "drift.stale" ]
+let drift_keys =
+  [ "drift.losing_sites"; "drift.deinstrumented"; "drift.protected"; "drift.stale" ]
 
 let sub ~seed salt = Faults.sub_seed (Faults.no_faults ~seed) ~salt
 
@@ -112,8 +113,25 @@ let run_drift ~opts ~workload ~shrink fault =
       ~estimates:(Stallhide_binopt.Gain_cost.of_profile profiled.Pipeline.profile)
       ~baseline stale_stream
   in
+  (* Static back-stop for the defense: a yield covering a load the
+     must/may analysis proved [Always_miss] hides a stall on every
+     execution whatever the drifted attribution claims, so it is pinned
+     against de-instrumentation ([drift.protected]). *)
+  let always_miss =
+    let a = Stallhide_analysis.Analysis.run train.Workload.program in
+    let s = Hashtbl.create 16 in
+    List.iter (fun pc -> Hashtbl.replace s pc ()) (Stallhide_analysis.Analysis.always_miss_pcs a);
+    s
+  in
+  let protect pc =
+    pc >= 0
+    && pc < Array.length inst.Pipeline.orig_of_new
+    && Hashtbl.mem always_miss inst.Pipeline.orig_of_new.(pc)
+  in
   let adapted_stream = Obs.Stream.create () in
-  let prog', verdict = Drift.adapt ~obs:adapted_stream attribution inst.Pipeline.program in
+  let prog', verdict =
+    Drift.adapt ~obs:adapted_stream ~protect attribution inst.Pipeline.program
+  in
   let adapted_m =
     Baselines.run_round_robin ~label:(workload ^ "/adapted")
       ~opts:{ Baselines.default_opts with Baselines.obs = Some adapted_stream }

@@ -7,11 +7,22 @@ open Stallhide_sched
 open Stallhide_workloads
 open Stallhide
 
+type placement = Pgo | Static | Hybrid
+
+let placement_name = function Pgo -> "pgo" | Static -> "static" | Hybrid -> "hybrid"
+
+let placement_of_string = function
+  | "pgo" -> Some Pgo
+  | "static" -> Some Static
+  | "hybrid" -> Some Hybrid
+  | _ -> None
+
 type params = {
   cores : int;
   policy : Dispatch.policy;
   steal : bool;
   pgo : bool;
+  placement : placement;
   requests_per_core : int;
   req_ops : int;
   service_compute : int;
@@ -41,6 +52,7 @@ let default_params =
     policy = Dispatch.Jbsq;
     steal = true;
     pgo = true;
+    placement = Pgo;
     requests_per_core = 48;
     req_ops = 6;
     service_compute = 40;
@@ -98,11 +110,41 @@ let zipf_sample cdf st =
 (* Profile + instrument once on a small twin workload with the same
    program text, then rebind the instrumented program to the serving
    workloads. Returns the program to serve with plus the re-validation
-   diagnostic counts. *)
-let instrument_twin ~twin ?scavenger_interval () =
+   diagnostic counts. [placement] selects the site-selection evidence:
+   PGO profiles the twin; Static skips profiling entirely and places
+   from the must/may cache analysis; Hybrid does both, proven facts
+   overriding the profile. *)
+let instrument_twin ~twin ~placement ~mem ?scavenger_interval () =
   let orig = twin.Workload.program in
-  let profiled = Pipeline.profile twin in
-  let _twin', inst = Pipeline.instrument ?scavenger_interval profiled twin in
+  let classifier () =
+    Stallhide_analysis.Analysis.to_classifier
+      (Stallhide_analysis.Analysis.run ~mem orig)
+  in
+  let primary_with placement =
+    { Stallhide_binopt.Primary_pass.default_opts with placement }
+  in
+  let inst =
+    match placement with
+    | Pgo ->
+        let profiled = Pipeline.profile ~mem_cfg:mem twin in
+        snd (Pipeline.instrument ?scavenger_interval profiled twin)
+    | Static ->
+        let no_estimates =
+          {
+            Stallhide_binopt.Gain_cost.miss_probability = (fun _ -> None);
+            stall_per_miss = (fun _ -> None);
+          }
+        in
+        Pipeline.instrument_with ~estimates:no_estimates
+          ~primary:(primary_with (Stallhide_binopt.Gain_cost.Static (classifier ())))
+          ?scavenger_interval orig
+    | Hybrid ->
+        let profiled = Pipeline.profile ~mem_cfg:mem twin in
+        snd
+          (Pipeline.instrument
+             ~primary:(primary_with (Stallhide_binopt.Gain_cost.Hybrid (classifier ())))
+             ?scavenger_interval profiled twin)
+  in
   let outcome =
     Stallhide_verify.Verify.validate ~orig ~orig_of_new:inst.Pipeline.orig_of_new
       inst.Pipeline.program
@@ -153,13 +195,14 @@ let run params =
         Kv_server.make ~lanes:8 ~table_slots:p.table_slots ~requests:64
           ~service_compute:p.service_compute ~seed:(p.seed + 1) ()
       in
-      let kvp, kve, kvw = instrument_twin ~twin:kv_twin () in
+      let kvp, kve, kvw = instrument_twin ~twin:kv_twin ~placement:p.placement ~mem:p.memcfg () in
       let scav_twin =
         Group_by.make ~lanes:4 ~groups:p.scav_groups ~tuples:(max 400 p.scav_tuples)
           ~seed:(p.seed + 2) ()
       in
       let scp, sce, scw =
-        instrument_twin ~twin:scav_twin ~scavenger_interval:p.scav_interval ()
+        instrument_twin ~twin:scav_twin ~placement:p.placement ~mem:p.memcfg
+          ~scavenger_interval:p.scav_interval ()
       in
       (Some kvp, Some scp, 2, kve + sce, kvw + scw)
     end
@@ -273,6 +316,7 @@ let to_json r =
       ("policy", Json.String (Dispatch.policy_name p.policy));
       ("steal", Json.Bool p.steal);
       ("pgo", Json.Bool p.pgo);
+      ("placement", Json.String (placement_name p.placement));
       ("seed", Json.Int p.seed);
       ("requests", Json.Int (p.requests_per_core * p.cores));
       ("cycles", Json.Int r.result.Machine.cycles);

@@ -22,11 +22,23 @@
 
 open Stallhide_sched
 
+(** How yield/prefetch sites are chosen when [pgo] is on: [Pgo]
+    profiles the twin workload (§3.2), [Static] places purely from the
+    must/may cache analysis ({!Stallhide_analysis}) with no profiling
+    run at all, [Hybrid] profiles and lets proven static facts override
+    the samples. *)
+type placement = Pgo | Static | Hybrid
+
+val placement_name : placement -> string
+
+val placement_of_string : string -> placement option
+
 type params = {
   cores : int;
   policy : Dispatch.policy;
   steal : bool;
   pgo : bool;
+  placement : placement;  (** site-selection evidence when [pgo] is on *)
   requests_per_core : int;
   req_ops : int;  (** GET probes per request *)
   service_compute : int;  (** ALU work per GET *)

@@ -3,6 +3,7 @@ open Stallhide_util
 open Stallhide_binopt
 open Stallhide_cpu
 module D = Diagnostic
+module A = Stallhide_analysis
 
 let insertable = function
   | Instr.Prefetch _ | Instr.Yield _ | Instr.Yield_cond _ | Instr.Guard _ -> true
@@ -157,7 +158,8 @@ let liveness_soundness prog =
 
 (* --- Prefetch/yield pairing --- *)
 
-let prefetch_pairing ?(is_inserted = fun _ -> false) prog =
+let prefetch_pairing ?(is_inserted = fun _ -> false)
+    ?(mem = Stallhide_mem.Memconfig.default) prog =
   let cfg = Cfg.build prog in
   let dom = Dominators.compute cfg in
   let diags = ref [] in
@@ -184,6 +186,34 @@ let prefetch_pairing ?(is_inserted = fun _ -> false) prog =
               report pc ~witness:[ l ]
                 (Printf.sprintf "prefetch of %s does not dominate its paired load"
                    (addr_str rs disp))
+            else begin
+              (* The pair must actually hide the latency it was priced
+                 for: either a yield sits between issue and use (another
+                 lane runs while the line travels), or the proven
+                 straight-line cycle distance covers a DRAM fill by
+                 itself. A [Yield_cond] is its own yield. *)
+              match Program.instr prog pc with
+              | Instr.Prefetch _ ->
+                  let yield_between = ref false in
+                  for k = pc + 1 to l - 1 do
+                    match Program.instr prog k with
+                    | Instr.Yield _ | Instr.Yield_cond _ -> yield_between := true
+                    | _ -> ()
+                  done;
+                  let lead =
+                    A.Distance.prefetch_lead mem prog ~prefetch_pc:pc ~load_pc:l
+                  in
+                  if
+                    (not !yield_between)
+                    && lead < mem.Stallhide_mem.Memconfig.dram_latency
+                  then
+                    report pc ~witness:[ l ]
+                      (Printf.sprintf
+                         "prefetch lead of %d cycle(s) to the load of %s covers neither the DRAM latency (%d) nor a yield"
+                         lead (addr_str rs disp)
+                         mem.Stallhide_mem.Memconfig.dram_latency)
+              | _ -> ()
+            end
         | `Clobbered k ->
             report pc ~witness:[ k ]
               (Printf.sprintf
@@ -209,93 +239,51 @@ let interval_bound ~target ?slack ?cost prog =
   let slack = match slack with Some s -> s | None -> target in
   let cost = match cost with Some c -> c | None -> static_cost prog in
   let cfg = Cfg.build prog in
-  match Dominators.unyielded_loops cfg with
-  | (_ :: _) as unyielded ->
-      List.map
-        (fun l ->
-          let firsts =
-            List.map (fun b -> (Cfg.block cfg b).Cfg.first) l.Dominators.body
-          in
-          D.error D.Interval
-            ~pc:(Cfg.block cfg l.Dominators.header).Cfg.first
-            ~witness:firsts "yield-free cycle: inter-yield interval is unbounded")
-        unyielded
-  | [] ->
-      (* every cycle contains a yield, so the max-cost yield-free path
-         is finite and the block-level fixpoint below converges: a
-         block containing a yield has a constant outgoing distance,
-         cutting every cycle's feedback *)
-      let nb = Cfg.block_count cfg in
-      let dist_out = Array.make nb 0.0 in
-      let is_yield pc =
-        match Program.instr prog pc with
-        | Instr.Yield _ | Instr.Yield_cond _ -> true
-        | _ -> false
+  (* Yield-free loops are only unbounded when no iteration bound can be
+     proven: re-derive the bounds here (never trusting the pass) and
+     charge bounded loops their (trips - 1) x body-cost budget. *)
+  let doms = Dominators.compute cfg in
+  let bounds = A.Loop_bounds.infer cfg doms (A.Value.block_envs cfg) in
+  let r =
+    A.Distance.yield_free_paths ~cost
+      ~trips:(fun ~header_pc -> A.Loop_bounds.trips_at bounds ~header_pc)
+      cfg
+  in
+  let diags = ref [] in
+  List.iter
+    (fun (l : Dominators.loop) ->
+      let firsts =
+        List.map (fun b -> (Cfg.block cfg b).Cfg.first) l.Dominators.body
       in
-      let walk b d0 =
-        let d = ref d0 and best = ref neg_infinity and best_pc = ref b.Cfg.first in
-        for pc = b.Cfg.first to b.Cfg.last do
-          if is_yield pc then d := 0.0
-          else begin
-            let c = cost pc in
-            if !d +. c > !best then begin
-              best := !d +. c;
-              best_pc := pc
-            end;
-            d := !d +. c
-          end
-        done;
-        (!d, !best, !best_pc)
+      diags :=
+        D.error D.Interval
+          ~pc:(Cfg.block cfg l.Dominators.header).Cfg.first
+          ~witness:firsts
+          "yield-free cycle with no proven iteration bound: inter-yield interval is unbounded"
+        :: !diags)
+    r.A.Distance.unproven;
+  if not r.A.Distance.converged then
+    diags :=
+      D.error D.Interval ~pc:r.A.Distance.worst_pc
+        "irreducible yield-free cycle: inter-yield interval is unbounded"
+      :: !diags;
+  if r.A.Distance.unproven = [] && r.A.Distance.converged then begin
+    let bound = float_of_int (target + slack) in
+    if r.A.Distance.worst > bound +. 1e-9 then begin
+      let budget_note =
+        match r.A.Distance.budgeted with
+        | [] -> ""
+        | bs ->
+            Printf.sprintf " (includes %d proven loop budget(s))" (List.length bs)
       in
-      let in_dist b = List.fold_left (fun acc p -> max acc dist_out.(p)) 0.0 b.Cfg.preds in
-      let changed = ref true in
-      let iters = ref 0 in
-      let max_iters = (2 * nb) + 8 in
-      while !changed && !iters < max_iters do
-        changed := false;
-        incr iters;
-        for id = 0 to nb - 1 do
-          let b = Cfg.block cfg id in
-          let out, _, _ = walk b (in_dist b) in
-          if abs_float (out -. dist_out.(id)) > 1e-9 then begin
-            dist_out.(id) <- out;
-            changed := true
-          end
-        done
-      done;
-      let best_pred b =
-        List.fold_left
-          (fun bp p ->
-            if bp < 0 || dist_out.(p) > dist_out.(bp) then p else bp)
-          (-1) b.Cfg.preds
-      in
-      let worst = ref neg_infinity and worst_pc = ref 0 and worst_block = ref 0 in
-      for id = 0 to nb - 1 do
-        let b = Cfg.block cfg id in
-        let _, m, mpc = walk b (in_dist b) in
-        if m > !worst then begin
-          worst := m;
-          worst_pc := mpc;
-          worst_block := id
-        end
-      done;
-      let bound = float_of_int (target + slack) in
-      if !worst > bound +. 1e-9 then begin
-        (* witness: the chain of block entries feeding the worst pc *)
-        let rec chain id acc steps =
-          let b = Cfg.block cfg id in
-          let p = best_pred b in
-          if steps > nb || p < 0 || dist_out.(p) <= 1e-9 then b.Cfg.first :: acc
-          else chain p (b.Cfg.first :: acc) (steps + 1)
-        in
-        let witness = chain !worst_block [ !worst_pc ] 0 in
-        [
-          D.error D.Interval ~pc:!worst_pc ~witness
-            (Printf.sprintf "yield-free path of %.0f cycles exceeds target %d (+%d slack)"
-               !worst target slack);
-        ]
-      end
-      else []
+      diags :=
+        D.error D.Interval ~pc:r.A.Distance.worst_pc ~witness:r.A.Distance.witness
+          (Printf.sprintf "yield-free path of %.0f cycles exceeds target %d (+%d slack)%s"
+             r.A.Distance.worst target slack budget_note)
+        :: !diags
+    end
+  end;
+  List.rev !diags
 
 (* --- SFI guard completeness --- *)
 

@@ -37,15 +37,26 @@ val liveness_soundness : Program.t -> Diagnostic.t list
 
 (** Every [Prefetch (rs, d)] / [Yield_cond (rs, d)] must be paired with
     a later [Load] of the same [rs + d] in its basic block (hence
-    dominating it), with no intervening redefinition of [rs].
-    [is_inserted pc] upgrades findings at instrumentation-inserted pcs
-    from warning to error. *)
-val prefetch_pairing : ?is_inserted:(int -> bool) -> Program.t -> Diagnostic.t list
+    dominating it), with no intervening redefinition of [rs]. A paired
+    plain prefetch must additionally hide the latency it was priced
+    for: either a yield sits between issue and use, or its proven
+    straight-line cycle lead (sum of guaranteed per-instruction costs,
+    {!Stallhide_analysis.Distance.prefetch_lead}) covers [mem]'s DRAM
+    latency outright. [is_inserted pc] upgrades findings at
+    instrumentation-inserted pcs from warning to error. *)
+val prefetch_pairing :
+  ?is_inserted:(int -> bool) ->
+  ?mem:Stallhide_mem.Memconfig.t ->
+  Program.t ->
+  Diagnostic.t list
 
 (** Longest yield-free path check for scavenger output: every cycle of
-    the CFG must contain a yield (else the inter-yield interval is
-    unbounded — an error with the loop body as witness), and the
-    maximum-cost yield-free path must not exceed [target + slack]
+    the CFG must either contain a yield or carry a {i proven} iteration
+    bound (re-derived here via {!Stallhide_analysis.Loop_bounds}, never
+    trusted from the pass), in which case the loop is charged a budget
+    of (trips - 1) x body cost; a yield-free cycle with no proven bound
+    is an error with the loop body as witness. The maximum-cost
+    yield-free path, budgets included, must not exceed [target + slack]
     (default slack = [target], matching the pass's worst case of
     deferring an insertion past a read-modify-write window). [cost]
     defaults to the scavenger pass's static estimate
