@@ -1205,6 +1205,186 @@ let c22 () =
   if not drift_ok then failwith "C22: static placement lost to a stale PGO binary under drift"
 
 (* ------------------------------------------------------------------ *)
+(* C23 — fault-tolerant cluster serving (lib/net + lib/cluster).       *)
+(* ------------------------------------------------------------------ *)
+
+let c23 () =
+  let module CH = Stallhide_cluster.Harness in
+  let module Cl = Stallhide_cluster.Cluster in
+  let module S = Stallhide_smp in
+  let module F = Stallhide_faults.Faults in
+  let machines = 4 and cores = 8 in
+  let base =
+    {
+      CH.default_params with
+      CH.machines;
+      cores;
+      requests = 256;
+      seed;
+    }
+  in
+  (* Capacity: saturate the cluster (every request arrives immediately)
+     and read the work-bound goodput; offered-load points are fractions
+     of it. *)
+  let cap = CH.run { base with CH.interarrival = 1 } in
+  let at_load frac =
+    (* mean cluster-wide gap for offered rate frac * capacity *)
+    let gap = 1000.0 /. (frac *. cap.CH.goodput_rpk) in
+    { base with CH.interarrival = int_of_float (gap *. float_of_int (machines * cores)) }
+  in
+  let p70 = at_load 0.70 in
+  let defense, slo = CH.calibrate p70 in
+  let p70 = { p70 with CH.slo_deadline = slo } in
+  (* crash+slow-node mix: machine 0 crashes mid-trace and restarts a
+     fresh replica; machine 1 serves with 6x L3/DRAM latency throughout *)
+  let mix p =
+    let last_send =
+      List.fold_left (fun acc (s : Cl.spec) -> max acc s.Cl.send) 0 (CH.trace p)
+    in
+    [
+      F.Crash { machine = 0; at = 50; percent = true; down = last_send / 4 };
+      F.Slownode { machine = 1; mult = 6 };
+    ]
+  in
+  let arm ~faults ~defended p =
+    CH.run
+      { p with CH.faults; defense = (if defended then Some defense else None) }
+  in
+  let loads = [ (0.5, at_load 0.5); (0.7, p70); (0.9, at_load 0.9); (1.1, at_load 1.1) ] in
+  let rows =
+    List.map
+      (fun (frac, p) ->
+        let p = { p with CH.slo_deadline = slo } in
+        let ff_ = arm ~faults:[] ~defended:false p in
+        let und = arm ~faults:(mix p) ~defended:false p in
+        let def = arm ~faults:(mix p) ~defended:true p in
+        (frac, ff_, und, def))
+      loads
+  in
+  let full r = r.CH.result.Cl.split.Latency.full in
+  let dropped r = r.CH.result.Cl.split.Latency.dropped in
+  Experiment.table
+    ~title:"C23: cluster tail latency vs offered load — crash + slow-node mix (lib/cluster)"
+    ~note:
+      "4 machines x 8 cores, P2c LB; mix = machine 0 crashes at 50% of the trace (restarts \
+       after a quarter-trace outage), machine 1 at 6x L3/DRAM latency; dropped requests \
+       censored at the SLO deadline, so shedding cannot flatter the tail"
+    ~header:[ "load"; "arm"; "acked"; "dropped"; "p50"; "p99"; "p999"; "retries"; "hedges" ]
+    (List.concat_map
+       (fun (frac, ff_, und, def) ->
+         List.map
+           (fun (label, r) ->
+             let c k = try List.assoc k r.CH.result.Cl.counters with Not_found -> 0 in
+             [
+               pct frac;
+               label;
+               fi r.CH.result.Cl.acked;
+               fi (dropped r);
+               fi (full r).Latency.p50;
+               fi (full r).Latency.p99;
+               fi (full r).Latency.p999;
+               fi (c "client.retries");
+               fi (c "client.hedges");
+             ])
+           [ ("fault-free", ff_); ("undefended", und); ("defended", def) ])
+       rows);
+  (* stall-hiding retention: PGO gain at cluster scale vs the same gain
+     on one 8-core machine, at matched per-core composition (48
+     requests/core, the C19 default) and the same per-core offered
+     load, so dilution could only come from the network/LB layer *)
+  let one = S.Harness.run { S.Harness.default_params with S.Harness.cores } in
+  let one_nopgo =
+    S.Harness.run { S.Harness.default_params with S.Harness.cores; pgo = false }
+  in
+  let matched =
+    {
+      base with
+      CH.requests = S.Harness.default_params.S.Harness.requests_per_core * cores * machines;
+      interarrival = S.Harness.default_params.S.Harness.interarrival;
+    }
+  in
+  let cl = CH.run matched in
+  let cl_nopgo = CH.run { matched with CH.pgo = false } in
+  let gain_single = one.S.Harness.throughput /. one_nopgo.S.Harness.throughput in
+  let gain_cluster = cl.CH.goodput_rpk /. cl_nopgo.CH.goodput_rpk in
+  let retention = (gain_cluster -. 1.0) /. (gain_single -. 1.0) in
+  Experiment.table
+    ~title:"C23b: stall-hiding gain at cluster scale"
+    ~note:
+      "PGO-instrumented vs uninstrumented serving; 48 requests/core at the C19 offered load \
+       in both setups, so any gap is the network/LB layer's doing"
+    ~header:[ "setup"; "noPGO tput"; "PGO tput"; "gain" ]
+    [
+      [
+        "1 machine x 8 cores";
+        ff ~decimals:3 one_nopgo.S.Harness.throughput;
+        ff ~decimals:3 one.S.Harness.throughput;
+        ff gain_single ^ "x";
+      ];
+      [
+        "4 machines x 8 cores";
+        ff ~decimals:3 cl_nopgo.CH.goodput_rpk;
+        ff ~decimals:3 cl.CH.goodput_rpk;
+        ff gain_cluster ^ "x";
+      ];
+    ];
+  (* replay determinism across the full defended mix *)
+  let _, _, _, def70 = List.find (fun (frac, _, _, _) -> frac = 0.7) rows in
+  let def70' = arm ~faults:(mix p70) ~defended:true p70 in
+  let identical =
+    def70.CH.result.Cl.cycles = def70'.CH.result.Cl.cycles
+    && def70.CH.result.Cl.acked = def70'.CH.result.Cl.acked
+    && (full def70).Latency.p99 = (full def70').Latency.p99
+  in
+  (* the cluster fuzz oracle, end to end *)
+  let module O = Stallhide_check.Oracle in
+  let module G = Stallhide_check.Gen in
+  let oracle_failures =
+    List.length
+      (List.filter
+         (fun s ->
+           match O.check_case O.Cluster (G.case ~seed:s ()) with
+           | O.Pass | O.Invalid _ -> false
+           | O.Counterexample _ -> true)
+         (List.init 10 (fun i -> i + 1)))
+  in
+  (* acceptance scalars, machine-readable *)
+  let _, ff70, und70, d70 = List.find (fun (frac, _, _, _) -> frac = 0.7) rows in
+  let ff_p99 = max 1 (full ff70).Latency.p99 in
+  let und_ratio = float_of_int (full und70).Latency.p99 /. float_of_int ff_p99 in
+  let def_ratio = float_of_int (full d70).Latency.p99 /. float_of_int ff_p99 in
+  let lost =
+    List.fold_left
+      (fun acc (_, a, b, c) ->
+        acc + a.CH.result.Cl.lost_acked + b.CH.result.Cl.lost_acked + c.CH.result.Cl.lost_acked)
+      0 rows
+  in
+  Experiment.record "p99_ratio_defended_mix_70" (Stallhide_util.Json.Float def_ratio);
+  Experiment.record "p99_ratio_undefended_mix_70" (Stallhide_util.Json.Float und_ratio);
+  Experiment.record "lost_acked_total" (Stallhide_util.Json.Int lost);
+  Experiment.record "stallhide_gain_single_8core" (Stallhide_util.Json.Float gain_single);
+  Experiment.record "stallhide_gain_cluster_4x8" (Stallhide_util.Json.Float gain_cluster);
+  Experiment.record "stallhide_retention" (Stallhide_util.Json.Float retention);
+  Experiment.record "replay_deterministic" (Stallhide_util.Json.Bool identical);
+  Experiment.record "cluster_oracle_failures" (Stallhide_util.Json.Int oracle_failures);
+  if def_ratio > 3.0 then
+    failwith
+      (Printf.sprintf "C23: defended p99 %.2fx fault-free under the mix (bound: 3x)" def_ratio);
+  if und_ratio <= 10.0 then
+    failwith
+      (Printf.sprintf "C23: undefended p99 only %.2fx fault-free — the mix has no teeth"
+         und_ratio);
+  if lost > 0 then
+    failwith (Printf.sprintf "C23: %d acked request(s) lost across failover" lost);
+  if retention < 0.5 then
+    failwith
+      (Printf.sprintf "C23: cluster retains only %.0f%% of the single-machine stall-hiding gain"
+         (100.0 *. retention));
+  if not identical then failwith "C23: defended mix replay diverged under equal seeds";
+  if oracle_failures > 0 then
+    failwith (Printf.sprintf "C23: %d cluster fuzz-oracle counterexample(s)" oracle_failures)
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1229,6 +1409,7 @@ let experiments =
     ("C19", c19);
     ("C21", c21);
     ("C22", c22);
+    ("C23", c23);
   ]
 
 let () =

@@ -718,23 +718,55 @@ let inject_cmd =
     let workloads =
       if workload = "all" then H.workload_names
       else begin
-        if not (List.mem workload H.workload_names) then begin
-          Printf.eprintf "stallhide: inject supports workloads %s (or all), got %S\n"
+        if not (List.mem workload H.workload_names || workload = "kv-cluster") then begin
+          Printf.eprintf "stallhide: inject supports workloads %s, kv-cluster (or all), got %S\n"
             (String.concat ", " H.workload_names) workload;
           exit 2
         end;
         [ workload ]
       end
     in
-    let specs = if specs = [] then F.fault_names else specs in
-    let plan =
-      try F.of_specs ~seed specs
+    (* -w all with no explicit specs covers the cluster faults too;
+       explicit net-fault specs always route to the cluster harness *)
+    let specs =
+      if specs <> [] then specs
+      else if workload = "all" then F.fault_names @ F.net_fault_names
+      else if workload = "kv-cluster" then F.net_fault_names
+      else F.fault_names
+    in
+    let faults =
+      try List.map F.parse_spec specs
       with Invalid_argument msg ->
         Printf.eprintf "stallhide: %s\n" msg;
         exit 2
     in
-    let opts = { H.default_opts with H.lanes; ops; seed } in
-    let rows = H.run_plan ~opts ~workloads plan in
+    let net_faults = List.filter F.is_net faults in
+    let machine_specs =
+      List.filter (fun s -> not (F.is_net (F.parse_spec s))) specs
+    in
+    let machine_rows =
+      if machine_specs = [] || workload = "kv-cluster" then []
+      else begin
+        let plan =
+          try F.of_specs ~seed machine_specs
+          with Invalid_argument msg ->
+            Printf.eprintf "stallhide: %s\n" msg;
+            exit 2
+        in
+        let opts = { H.default_opts with H.lanes; ops; seed } in
+        H.run_plan ~opts ~workloads:(List.filter (fun w -> w <> "kv-cluster") workloads) plan
+      end
+    in
+    let cluster_rows =
+      if net_faults = [] then []
+      else
+        let module CH = Stallhide_cluster.Harness in
+        try CH.fault_rows { CH.default_params with seed } net_faults
+        with Invalid_argument msg ->
+          Printf.eprintf "stallhide: %s\n" msg;
+          exit 2
+    in
+    let rows = machine_rows @ cluster_rows in
     let doc =
       Stallhide_util.Json.Obj
         [
@@ -769,8 +801,10 @@ let inject_cmd =
   let inject_arg =
     let doc =
       "Fault spec (repeatable): drift[:shrink=N] | pebs[:loss=F,skid=N,misattr=F] | \
-       spike[:at=N,for=N,l3=N,dram=N] | rogue[:count=N,compute=N]. Default: all four with \
-       default knobs."
+       spike[:at=N,for=N,l3=N,dram=N] | rogue[:count=N,compute=N] | cluster-level \
+       crash[:m=N,at=N%,down=N] | slownode[:m=N,mult=N] | netloss[:p=F,reorder=F] | \
+       nicdrop[:depth=N] (run on the kv-cluster). Default: all single-machine faults, plus \
+       the net faults with -w all."
     in
     Arg.(value & opt_all string [] & info [ "i"; "inject" ] ~docv:"SPEC" ~doc)
   in
@@ -1019,6 +1053,212 @@ let smp_cmd =
           scaling vs a single core.")
     term
 
+(* cluster *)
+
+let cluster_cmd =
+  let module CH = Stallhide_cluster.Harness in
+  let module Cl = Stallhide_cluster.Cluster in
+  let module Lb = Stallhide_cluster.Lb in
+  let module F = Stallhide_faults.Faults in
+  let module L = Stallhide_runtime.Latency in
+  let module J = Stallhide_util.Json in
+  let cluster machines cores lb policy specs defend pgo requests interarrival skew seed json
+      output =
+    if machines <= 0 then begin
+      Printf.eprintf "stallhide: --machines must be positive (got %d)\n" machines;
+      exit 2
+    end;
+    let lb =
+      match Lb.policy_of_string lb with
+      | Some l -> l
+      | None ->
+          Printf.eprintf "stallhide: unknown LB policy %S (available: hash, least, p2c)\n" lb;
+          exit 2
+    in
+    let policy =
+      match Stallhide_sched.Dispatch.policy_of_string policy with
+      | Some p -> p
+      | None ->
+          Printf.eprintf "stallhide: unknown policy %S (available: d-fcfs, jbsq)\n" policy;
+          exit 2
+    in
+    let faults =
+      try List.map F.parse_spec specs
+      with Invalid_argument msg ->
+        Printf.eprintf "stallhide: %s\n" msg;
+        exit 2
+    in
+    (match List.find_opt (fun f -> not (F.is_net f)) faults with
+    | Some f ->
+        Printf.eprintf
+          "stallhide: %s is a single-machine fault; cluster takes crash | slownode | netloss \
+           | nicdrop\n"
+          (F.name f);
+        exit 2
+    | None -> ());
+    (match
+       List.find_opt
+         (function
+           | F.Crash { machine; _ } | F.Slownode { machine; _ } ->
+               machine < 0 || machine >= machines
+           | _ -> false)
+         faults
+     with
+    | Some f ->
+        let m =
+          match f with
+          | F.Crash { machine; _ } | F.Slownode { machine; _ } -> machine
+          | _ -> assert false
+        in
+        Printf.eprintf "stallhide: %s machine %d out of range (machines=%d)\n" (F.name f) m
+          machines;
+        exit 2
+    | None -> ());
+    let params =
+      {
+        CH.default_params with
+        CH.machines;
+        cores;
+        lb;
+        policy;
+        pgo;
+        requests;
+        interarrival;
+        skew;
+        seed;
+        faults;
+      }
+    in
+    let params =
+      if not defend then params
+      else begin
+        let d, slo = CH.calibrate params in
+        { params with CH.defense = Some d; slo_deadline = slo }
+      end
+    in
+    let r = CH.run params in
+    let res = r.CH.result in
+    let doc =
+      J.Obj
+        (("schema_version", J.Int 1)
+        ::
+        (match CH.to_json r with J.Obj fields -> fields | _ -> assert false))
+    in
+    if json then print_endline (J.to_string_pretty doc)
+    else begin
+      let split = res.Cl.split in
+      Printf.printf
+        "cluster: %d machine(s) x %d core(s), lb %s, policy %s, pgo %s, %s, seed %d\n" machines
+        cores (Lb.policy_name lb)
+        (Stallhide_sched.Dispatch.policy_name policy)
+        (if pgo then "on" else "off")
+        (if defend then "defended" else "undefended")
+        seed;
+      (match faults with
+      | [] -> Printf.printf "faults: none\n"
+      | fs -> Printf.printf "faults: %s\n" (String.concat ", " (List.map F.describe fs)));
+      Printf.printf
+        "requests: %d offered -> %d acked, %d expired, %d shed, %d unanswered (%d cycles, \
+         %.3f acked/kcycle)\n"
+        res.Cl.offered res.Cl.acked res.Cl.expired res.Cl.shed res.Cl.unanswered res.Cl.cycles
+        r.CH.goodput_rpk;
+      Printf.printf "slo: %.2f%% violations (deadline %d cycles); lost acked: %d\n"
+        (100.0 *. L.violation_rate split)
+        params.CH.slo_deadline res.Cl.lost_acked;
+      Printf.printf "latency (goodput): mean=%.0f p50=%d p90=%d p99=%d p999=%d max=%d\n"
+        split.L.goodput.L.mean split.L.goodput.L.p50 split.L.goodput.L.p90
+        split.L.goodput.L.p99 split.L.goodput.L.p999 split.L.goodput.L.max;
+      Printf.printf "latency (offered, censored): p50=%d p90=%d p99=%d p999=%d\n"
+        split.L.full.L.p50 split.L.full.L.p90 split.L.full.L.p99 split.L.full.L.p999;
+      let fired = List.filter (fun (_, v) -> v > 0) res.Cl.counters in
+      if fired <> [] then
+        Printf.printf "counters: %s\n"
+          (String.concat " " (List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) fired));
+      Printf.printf "%-8s %9s %6s %9s %6s %6s %6s %8s\n" "machine" "cycles" "compl" "restarts"
+        "rx" "fast" "ovfl" "state";
+      Array.iter
+        (fun (v : Cl.node_view) ->
+          Printf.printf "%-8d %9d %6d %9d %6d %6d %6d %8s\n" v.Cl.id v.Cl.cycles v.Cl.completed
+            v.Cl.restarts v.Cl.nic_rx v.Cl.nic_fast v.Cl.nic_overflow
+            (if v.Cl.crashed then "down" else "up"))
+        res.Cl.nodes
+    end;
+    match output with
+    | None -> ()
+    | Some path ->
+        write_file path (fun path -> J.write ~path doc);
+        if not json then Printf.printf "result written to %s\n" path
+  in
+  let machines_arg =
+    Arg.(value & opt int 4 & info [ "machines" ] ~docv:"M" ~doc:"Number of machines.")
+  in
+  let cores_arg =
+    Arg.(value & opt int 4 & info [ "cores" ] ~docv:"N" ~doc:"Cores per machine.")
+  in
+  let lb_arg =
+    Arg.(value & opt string "p2c"
+         & info [ "lb" ] ~docv:"POLICY"
+             ~doc:"Front-end placement: hash (consistent) | least (least-loaded) | p2c.")
+  in
+  let policy_arg =
+    Arg.(value & opt string "jbsq"
+         & info [ "policy" ] ~docv:"POLICY" ~doc:"Intra-machine dispatch: d-fcfs | jbsq.")
+  in
+  let fault_arg =
+    Arg.(value & opt_all string []
+         & info [ "fault" ] ~docv:"SPEC"
+             ~doc:
+               "Cluster fault (repeatable): crash[:m=N,at=N%,down=N] | slownode[:m=N,mult=N] \
+                | netloss[:p=F,reorder=F] | nicdrop[:depth=N].")
+  in
+  let defend_arg =
+    Arg.(value & flag
+         & info [ "defend" ]
+             ~doc:
+               "Enable the defenses (timeouts, retries, hedging, health-check failover, \
+                brownout), auto-tuned against the fault-free run.")
+  in
+  let pgo_arg =
+    Arg.(value & vflag true
+           [
+             (true, info [ "pgo" ] ~doc:"Serve instrumented programs (default).");
+             (false, info [ "no-pgo" ] ~doc:"Serve uninstrumented programs (no stall hiding).");
+           ])
+  in
+  let requests_arg =
+    Arg.(value & opt int CH.default_params.CH.requests
+         & info [ "requests" ] ~docv:"N" ~doc:"Total offered requests.")
+  in
+  let interarrival_arg =
+    Arg.(value & opt int CH.default_params.CH.interarrival
+         & info [ "interarrival" ] ~docv:"CYCLES"
+             ~doc:"Mean per-core cycles between arrivals (open loop).")
+  in
+  let skew_arg =
+    Arg.(value & opt float CH.default_params.CH.skew
+         & info [ "skew" ] ~docv:"S" ~doc:"Zipf exponent over the key universe.")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the full cluster result as JSON on stdout.")
+  in
+  let output_arg =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Also write the JSON result to $(docv).")
+  in
+  let term =
+    Term.(
+      const cluster $ machines_arg $ cores_arg $ lb_arg $ policy_arg $ fault_arg $ defend_arg
+      $ pgo_arg $ requests_arg $ interarrival_arg $ skew_arg $ seed_arg $ json_arg $ output_arg)
+  in
+  Cmd.v
+    (Cmd.info "cluster"
+       ~doc:
+         "Serve the kv-cluster: M kv-server machines behind a load balancer over a \
+          cycle-priced NIC/RPC model, with injectable cluster faults (crash, slow node, \
+          packet loss, NIC overflow) and auto-tuned defenses (retries, hedging, failover, \
+          brownout).")
+    term
+
 (* why *)
 
 let why_cmd =
@@ -1255,7 +1495,7 @@ let () =
   let info = Cmd.info "stallhide" ~version:"1.0.0" ~doc in
   let group =
     Cmd.group info
-      [ run_cmd; analyze_cmd; disasm_cmd; instrument_cmd; lint_cmd; profile_cmd; trace_cmd; inject_cmd; smp_cmd; why_cmd; fuzz_cmd ]
+      [ run_cmd; analyze_cmd; disasm_cmd; instrument_cmd; lint_cmd; profile_cmd; trace_cmd; inject_cmd; smp_cmd; cluster_cmd; why_cmd; fuzz_cmd ]
   in
   (* Fail-fast contract of the pipeline: a rewrite the verifier rejects
      never runs. Render the diagnostics instead of a backtrace. *)

@@ -10,9 +10,9 @@ open Stallhide_sched
 open Stallhide_smp
 open Stallhide_faults
 
-type name = Primary | Scavenger | Smp | Fault | Soundness | Mutant
+type name = Primary | Scavenger | Smp | Fault | Soundness | Cluster | Mutant
 
-let all = [ Primary; Scavenger; Smp; Fault; Soundness ]
+let all = [ Primary; Scavenger; Smp; Fault; Soundness; Cluster ]
 
 let to_string = function
   | Primary -> "primary"
@@ -20,6 +20,7 @@ let to_string = function
   | Smp -> "smp"
   | Fault -> "fault"
   | Soundness -> "soundness"
+  | Cluster -> "cluster"
   | Mutant -> "mutant"
 
 let of_string = function
@@ -28,6 +29,7 @@ let of_string = function
   | "smp" -> Some Smp
   | "fault" -> Some Fault
   | "soundness" -> Some Soundness
+  | "cluster" -> Some Cluster
   | "mutant" -> Some Mutant
   | _ -> None
 
@@ -327,6 +329,186 @@ let check_soundness cfg prog =
       | _ -> ())
     (A.always_miss_pcs analysis)
 
+(* --- cluster: M machines behind the LB vs M independent machines --- *)
+
+module Cl = Stallhide_cluster.Cluster
+module Lb = Stallhide_cluster.Lb
+module Defense = Stallhide_cluster.Defense
+module Netconfig = Stallhide_net.Netconfig
+
+let cluster_req_key i = (7 * i) + 3
+
+(* One cluster arm over the instrumented lanes-as-requests: d-FCFS,
+   steal off, consistent hashing and a pristine link, so the fault-free
+   dispatch sequence on each machine is exactly the independent
+   reference's, and hedge/retry traffic (which lands on *other*
+   machines by the distinct-machine rule) cannot perturb it. *)
+let cluster_arm label cfg prog' ~machines ~defense =
+  let probe = Gen.workload ~prog:prog' cfg in
+  let lanes = Array.length probe.Workload.lanes in
+  let requests =
+    List.init lanes (fun i -> { Cl.rid = i; key = cluster_req_key i; send = i * 50 })
+  in
+  let images = Hashtbl.create machines in
+  let node ~machine ~restart:_ =
+    let wl = Gen.workload ~prog:prog' cfg in
+    Hashtbl.replace images machine wl.Workload.image;
+    {
+      Cl.config =
+        { Machine.default_config with cores = cfg.Gen.cores; steal = false; max_cycles = budget };
+      mem = wl.Workload.image;
+      scavengers = Array.make cfg.Gen.cores [];
+      make_ctx =
+        (fun ~rid ~attempt:_ -> Workload.context wl ~lane:rid ~id:rid ~mode:Context.Primary);
+    }
+  in
+  let config =
+    {
+      Cl.machines;
+      policy = Dispatch.D_fcfs;
+      lb = Lb.Consistent_hash;
+      net = Netconfig.default;
+      defense;
+      slo_deadline = budget;
+      seed = cfg.Gen.seed;
+      faults = [];
+      horizon = budget;
+    }
+  in
+  let r = Cl.run config ~node ~requests in
+  if r.Cl.lost_acked > 0 then
+    raise (Cex (Printf.sprintf "%s: %d acked request(s) with no finished context" label r.Cl.lost_acked));
+  if r.Cl.acked < lanes then
+    raise
+      (Inv
+         (Printf.sprintf "%s: %d/%d requests acked within %d cycles" label r.Cl.acked lanes
+            budget));
+  (r, images)
+
+(* Machine [m]'s view of a cluster run: its final image plus the lane
+   contexts of the requests it won. *)
+let cluster_state (r, images) m =
+  let ctxs =
+    Array.to_list r.Cl.requests
+    |> List.filter_map (fun (q : Cl.rq) -> if q.Cl.winner = m then q.Cl.winner_ctx else None)
+    |> Array.of_list
+  in
+  State.capture ~mem:(Hashtbl.find images m) ctxs
+
+(* The reference: machine [m] run standalone on the key range the
+   consistent-hash ring homes to it. *)
+let independent_arm cfg prog' ~machines m =
+  let wl = Gen.workload ~prog:prog' cfg in
+  let lanes = Array.length wl.Workload.lanes in
+  let requests =
+    List.init lanes (fun i -> (i, cluster_req_key i))
+    |> List.filter (fun (_, key) -> Dispatch.home ~shards:machines key = m)
+    |> List.map (fun (i, key) ->
+           let ctx = Workload.context wl ~lane:i ~id:i ~mode:Context.Primary in
+           Machine.request ~rid:i ~key
+             ~home:(Dispatch.home ~shards:cfg.Gen.cores key)
+             ~arrival:(i * 50) ctx)
+  in
+  let config =
+    { Machine.default_config with cores = cfg.Gen.cores; steal = false; max_cycles = budget }
+  in
+  let r =
+    Machine.run ~config ~policy:Dispatch.D_fcfs ~mem:wl.Workload.image ~requests
+      ~scavengers:(Array.make cfg.Gen.cores []) ()
+  in
+  if r.Machine.faulted > 0 then
+    raise (Cex (Printf.sprintf "independent machine %d: %d request(s) faulted" m r.Machine.faulted));
+  if r.Machine.completed < List.length requests then
+    raise
+      (Inv
+         (Printf.sprintf "independent machine %d: %d/%d requests completed within %d cycles" m
+            r.Machine.completed (List.length requests) budget));
+  State.capture ~mem:wl.Workload.image
+    (Array.of_list (List.map (fun (rq : Machine.request) -> rq.Machine.ctx) requests))
+
+let check_cluster cfg prog =
+  (* validity gate, as in [check_smp] *)
+  ignore (reference cfg prog);
+  let inst = instrument_primary cfg prog in
+  let prog' = inst.Pipeline.program in
+  let machines = 2 + (abs cfg.Gen.seed mod 2) in
+  (* metamorphic: same seed, bit-identical cluster (every machine) *)
+  let a = cluster_arm "fault-free cluster" cfg prog' ~machines ~defense:None in
+  let b = cluster_arm "fault-free cluster (replay)" cfg prog' ~machines ~defense:None in
+  if (fst a).Cl.cycles <> (fst b).Cl.cycles then
+    raise
+      (Cex
+         (Printf.sprintf "cluster: nondeterministic cycles under equal seeds (%d vs %d)"
+            (fst a).Cl.cycles (fst b).Cl.cycles));
+  for m = 0 to machines - 1 do
+    match State.diff (cluster_state a m) (cluster_state b m) with
+    | Some d ->
+        raise (Cex (Printf.sprintf "cluster: nondeterministic state on machine %d: %s" m d))
+    | None -> ()
+  done;
+  (* differential: each machine bit-identical to its standalone twin *)
+  for m = 0 to machines - 1 do
+    let ref_state = independent_arm cfg prog' ~machines m in
+    match State.diff ref_state (cluster_state a m) with
+    | Some d ->
+        raise
+          (Cex
+             (Printf.sprintf "cluster machine %d diverges from its independent twin: %s" m d))
+    | None -> ()
+  done;
+  (* metamorphic: retries + immediate hedging under zero faults change
+     no payloads and never shrink the makespan *)
+  let aggressive =
+    {
+      Defense.deadline = budget;
+      timeout = 3_000;
+      max_retries = 2;
+      retry_budget_pct = 100;
+      backoff = 100;
+      hedge_after = 1;
+      hedge_max = 1;
+      probe_interval = 1_000;
+      strike_threshold = 3;
+      brownout_depth = 0;
+    }
+  in
+  let h, _ = cluster_arm "hedged cluster" cfg prog' ~machines ~defense:(Some aggressive) in
+  (* Hedging may shrink cycle counts — duplicates race the last ack
+     down and even warm the shared L3 under the co-resident attempts
+     (the fuzzer found both) — so time is not an invariant here. Work
+     is: every machine still serves at least its fault-free attempts,
+     and the wire carries at least the fault-free messages. *)
+  Array.iter2
+    (fun (v : Cl.node_view) (vh : Cl.node_view) ->
+      if vh.Cl.completed < v.Cl.completed || vh.Cl.nic_rx < v.Cl.nic_rx then
+        raise
+          (Cex
+             (Printf.sprintf
+                "hedging under zero faults shed machine %d's work (%d vs %d contexts, %d vs \
+                 %d rx) — duplicates may only add work"
+                v.Cl.id vh.Cl.completed v.Cl.completed vh.Cl.nic_rx v.Cl.nic_rx)))
+    (fst a).Cl.nodes h.Cl.nodes;
+  let sent (r : Cl.result) = try List.assoc "net.sent" r.Cl.counters with Not_found -> 0 in
+  if sent h < sent (fst a) then
+    raise
+      (Cex
+         (Printf.sprintf "hedging under zero faults removed messages (%d vs %d sent)"
+            (sent h) (sent (fst a))));
+  Array.iter2
+    (fun (q : Cl.rq) (qh : Cl.rq) ->
+      match (q.Cl.winner_ctx, qh.Cl.winner_ctx) with
+      | Some c, Some ch ->
+          if ch.Context.status <> Context.Done then
+            raise (Cex (Printf.sprintf "hedged winner of rid %d did not finish" q.Cl.spec.Cl.rid));
+          if c.Context.regs <> ch.Context.regs then
+            raise
+              (Cex
+                 (Printf.sprintf
+                    "hedging changed the payload of rid %d (winner machine %d vs %d)"
+                    q.Cl.spec.Cl.rid q.Cl.winner qh.Cl.winner))
+      | _ -> raise (Cex "hedged cluster lost a winner context"))
+    (fst a).Cl.requests h.Cl.requests
+
 let clobber_loads prog =
   Program.to_items prog
   |> List.concat_map (fun item ->
@@ -350,6 +532,7 @@ let check name cfg prog =
     | Smp -> check_smp
     | Fault -> check_fault
     | Soundness -> check_soundness
+    | Cluster -> check_cluster
     | Mutant -> check_mutant
   in
   match f cfg prog with

@@ -17,6 +17,17 @@
     - [Fault] — instrumented round-robin, clean vs under an injected
       L3/DRAM latency spike and vs rogue scavenger co-runners: state
       must be preserved and a spike may only {e degrade} timing;
+    - [Cluster] — the instrumented lanes served through an M-machine
+      {!Stallhide_cluster.Cluster} (consistent hashing, pristine link,
+      d-FCFS, steal off) vs M independent machines each running its key
+      range standalone: per-machine state must be bit-identical, and
+      (metamorphic) enabling retries + immediate hedging under zero
+      faults changes no request payload and only ever {e adds} work —
+      no machine serves fewer attempts and the wire carries no fewer
+      messages. Time is deliberately not the invariant: hedges race
+      the last ack down and can even warm the shared L3 under the
+      co-resident attempts, both of which legitimately shrink cycle
+      counts (the fuzzer found both);
     - [Soundness] — the static must/may cache analysis
       ({!Stallhide_analysis}) vs simulator ground truth under a
       per-case sampled {!Stallhide_mem.Memconfig}: an [Always_hit]
@@ -31,9 +42,9 @@
 
 open Stallhide_isa
 
-type name = Primary | Scavenger | Smp | Fault | Soundness | Mutant
+type name = Primary | Scavenger | Smp | Fault | Soundness | Cluster | Mutant
 
-(** The five real oracles — the default fuzz campaign. *)
+(** The six real oracles — the default fuzz campaign. *)
 val all : name list
 
 val to_string : name -> string

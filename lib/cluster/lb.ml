@@ -1,0 +1,109 @@
+open Stallhide_sched
+
+type policy = Consistent_hash | Least_loaded | P2c
+
+let policy_name = function
+  | Consistent_hash -> "hash"
+  | Least_loaded -> "least"
+  | P2c -> "p2c"
+
+let policy_of_string = function
+  | "hash" -> Some Consistent_hash
+  | "least" -> Some Least_loaded
+  | "p2c" -> Some P2c
+  | _ -> None
+
+type health = Up | Quarantined
+
+type slot = { mutable health : health; mutable strikes : int }
+
+type t = {
+  policy : policy;
+  n : int;
+  slots : slot array;
+  st : Random.State.t;
+  mutable quarantines : int;
+  mutable readmissions : int;
+}
+
+let create policy ~machines ~seed =
+  if machines <= 0 then invalid_arg "Lb.create: machines must be positive";
+  {
+    policy;
+    n = machines;
+    slots = Array.init machines (fun _ -> { health = Up; strikes = 0 });
+    st = Random.State.make [| seed; 0x1b; 0 |];
+    quarantines = 0;
+    readmissions = 0;
+  }
+
+let health t m = t.slots.(m).health
+
+let healthy t m = t.slots.(m).health = Up
+
+let quarantine t m =
+  let s = t.slots.(m) in
+  match s.health with
+  | Quarantined -> false
+  | Up ->
+      s.health <- Quarantined;
+      t.quarantines <- t.quarantines + 1;
+      true
+
+let readmit t m =
+  let s = t.slots.(m) in
+  match s.health with
+  | Up ->
+      s.strikes <- 0;
+      false
+  | Quarantined ->
+      s.health <- Up;
+      s.strikes <- 0;
+      t.readmissions <- t.readmissions + 1;
+      true
+
+let strike t m ~threshold =
+  let s = t.slots.(m) in
+  s.strikes <- s.strikes + 1;
+  if s.strikes >= threshold then quarantine t m else false
+
+let clear_strikes t m = t.slots.(m).strikes <- 0
+
+let quarantines t = t.quarantines
+
+let readmissions t = t.readmissions
+
+(* Candidates: healthy machines not in the exclusion set. The exclusion
+   set is the request's attempt history — every retry or hedge of a
+   request lands on a distinct machine (correct failover, and the
+   property that makes duplicate execution safe for workloads whose
+   lanes read their own write sets). *)
+let choose t ~key ~backlog ~exclude =
+  let ok m = healthy t m && not (List.mem m exclude) in
+  match t.policy with
+  | Consistent_hash ->
+      (* hash the key to a ring position, walk past unhealthy/excluded *)
+      let start = Dispatch.home ~shards:t.n key in
+      let rec walk k = if k = t.n then None else
+          let m = (start + k) mod t.n in
+          if ok m then Some m else walk (k + 1)
+      in
+      walk 0
+  | Least_loaded ->
+      let best = ref (-1) in
+      for m = t.n - 1 downto 0 do
+        if ok m && (!best < 0 || backlog m <= backlog !best) then best := m
+      done;
+      if !best < 0 then None else Some !best
+  | P2c -> (
+      let cands = List.filter ok (List.init t.n (fun m -> m)) in
+      match cands with
+      | [] -> None
+      | [ m ] -> Some m
+      | _ ->
+          let k = List.length cands in
+          let a = List.nth cands (Random.State.int t.st k) in
+          let b = List.nth cands (Random.State.int t.st k) in
+          (* power of two choices, bounded load: the more loaded
+             candidate is never picked *)
+          Some (if backlog b < backlog a then b else a))

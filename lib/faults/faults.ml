@@ -6,6 +6,10 @@ type fault =
   | Degrade of { loss : float; skid : int; misattr : float }
   | Spike of { at : int; duration : int; l3_mult : int; dram_mult : int }
   | Rogue of { count : int; compute : int }
+  | Crash of { machine : int; at : int; percent : bool; down : int }
+  | Slownode of { machine : int; mult : int }
+  | Netloss of { p : float; reorder : float }
+  | Nicdrop of { depth : int }
 
 type plan = { faults : fault list; seed : int }
 
@@ -16,6 +20,16 @@ let name = function
   | Degrade _ -> "pebs"
   | Spike _ -> "spike"
   | Rogue _ -> "rogue"
+  | Crash _ -> "crash"
+  | Slownode _ -> "slownode"
+  | Netloss _ -> "netloss"
+  | Nicdrop _ -> "nicdrop"
+
+(* Cluster-level faults live in lib/cluster's harness; the single-machine
+   harness rejects them. *)
+let is_net = function
+  | Crash _ | Slownode _ | Netloss _ | Nicdrop _ -> true
+  | Drift _ | Degrade _ | Spike _ | Rogue _ -> false
 
 let describe = function
   | Drift { shrink } -> Printf.sprintf "drift:shrink=%d" shrink
@@ -24,6 +38,11 @@ let describe = function
   | Spike { at; duration; l3_mult; dram_mult } ->
       Printf.sprintf "spike:at=%d,for=%d,l3=%d,dram=%d" at duration l3_mult dram_mult
   | Rogue { count; compute } -> Printf.sprintf "rogue:count=%d,compute=%d" count compute
+  | Crash { machine; at; percent; down } ->
+      Printf.sprintf "crash:m=%d,at=%d%s,down=%d" machine at (if percent then "%" else "") down
+  | Slownode { machine; mult } -> Printf.sprintf "slownode:m=%d,mult=%d" machine mult
+  | Netloss { p; reorder } -> Printf.sprintf "netloss:p=%g,reorder=%g" p reorder
+  | Nicdrop { depth } -> Printf.sprintf "nicdrop:depth=%d" depth
 
 let to_json f =
   let fields =
@@ -40,6 +59,17 @@ let to_json f =
         ]
     | Rogue { count; compute } ->
         [ ("count", Json.Int count); ("compute", Json.Int compute) ]
+    | Crash { machine; at; percent; down } ->
+        [
+          ("machine", Json.Int machine);
+          ("at", Json.Int at);
+          ("percent", Json.Bool percent);
+          ("down", Json.Int down);
+        ]
+    | Slownode { machine; mult } ->
+        [ ("machine", Json.Int machine); ("mult", Json.Int mult) ]
+    | Netloss { p; reorder } -> [ ("p", Json.Float p); ("reorder", Json.Float reorder) ]
+    | Nicdrop { depth } -> [ ("depth", Json.Int depth) ]
   in
   Json.Obj (("fault", Json.String (name f)) :: fields)
 
@@ -48,6 +78,8 @@ let to_json f =
 let fail fmt = Printf.ksprintf invalid_arg fmt
 
 let fault_names = [ "drift"; "pebs"; "spike"; "rogue" ]
+
+let net_fault_names = [ "crash"; "slownode"; "netloss"; "nicdrop" ]
 
 let parse_spec spec =
   let head, args =
@@ -128,9 +160,54 @@ let parse_spec spec =
       if compute < 2 then
         fail "Faults.parse_spec: rogue: compute must be >= 2 (got %d)" compute;
       Rogue { count; compute }
+  | "crash" ->
+      known [ "m"; "at"; "down" ];
+      let machine = geti "m" 0 in
+      (* at accepts raw cycles or "N%" of the offered trace *)
+      let at, percent =
+        match List.assoc_opt "at" kvs with
+        | None -> (50, true)
+        | Some v -> (
+            let body, percent =
+              let n = String.length v in
+              if n > 0 && v.[n - 1] = '%' then (String.sub v 0 (n - 1), true) else (v, false)
+            in
+            match int_of_string_opt body with
+            | Some x -> (x, percent)
+            | None ->
+                fail "Faults.parse_spec: crash: at must be cycles or a percent (got %S)" v)
+      in
+      let down = geti "down" 0 in
+      if machine < 0 then fail "Faults.parse_spec: crash: m must be >= 0 (got %d)" machine;
+      if at < 0 then fail "Faults.parse_spec: crash: at must be >= 0 (got %d)" at;
+      if percent && at > 100 then
+        fail "Faults.parse_spec: crash: at percent must be <= 100 (got %d%%)" at;
+      if down < 0 then fail "Faults.parse_spec: crash: down must be >= 0 (got %d)" down;
+      Crash { machine; at; percent; down }
+  | "slownode" ->
+      known [ "m"; "mult" ];
+      let machine = geti "m" 0 in
+      let mult = geti "mult" 6 in
+      if machine < 0 then fail "Faults.parse_spec: slownode: m must be >= 0 (got %d)" machine;
+      if mult < 2 then fail "Faults.parse_spec: slownode: mult must be >= 2 (got %d)" mult;
+      Slownode { machine; mult }
+  | "netloss" ->
+      known [ "p"; "reorder" ];
+      let p = getf "p" 0.05 in
+      let reorder = getf "reorder" 0.0 in
+      if p < 0.0 || p >= 1.0 then
+        fail "Faults.parse_spec: netloss: p must be in [0,1) (got %g)" p;
+      if reorder < 0.0 || reorder >= 1.0 then
+        fail "Faults.parse_spec: netloss: reorder must be in [0,1) (got %g)" reorder;
+      Netloss { p; reorder }
+  | "nicdrop" ->
+      known [ "depth" ];
+      let depth = geti "depth" 8 in
+      if depth < 1 then fail "Faults.parse_spec: nicdrop: depth must be >= 1 (got %d)" depth;
+      Nicdrop { depth }
   | other ->
       fail "Faults.parse_spec: unknown fault %S (expected %s)" other
-        (String.concat " | " fault_names)
+        (String.concat " | " (fault_names @ net_fault_names))
 
 let of_specs ~seed specs = { faults = List.map parse_spec specs; seed }
 
@@ -140,14 +217,14 @@ let sub_seed plan ~salt = Hashtbl.hash (plan.seed, salt, 0xfa17)
 
 let degradation_spec ~seed = function
   | Degrade { loss; skid; misattr } -> Some { Stallhide_pmu.Pebs.loss; skid; misattr; seed }
-  | Drift _ | Spike _ | Rogue _ -> None
+  | Drift _ | Spike _ | Rogue _ | Crash _ | Slownode _ | Netloss _ | Nicdrop _ -> None
 
 let prepare_hier fault hier =
   match fault with
   | Spike { at; duration; l3_mult; dram_mult } ->
       Stallhide_mem.Hierarchy.inject_spike hier ~from_cycle:at ~until_cycle:(at + duration)
         ~l3_mult ~dram_mult
-  | Drift _ | Degrade _ | Rogue _ -> ()
+  | Drift _ | Degrade _ | Rogue _ | Crash _ | Slownode _ | Netloss _ | Nicdrop _ -> ()
 
 (* A scavenger that breaks the timely-return contract: per dispatch it
    grinds ~[compute] cycles of pure ALU work before its scavenger-phase

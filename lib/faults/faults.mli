@@ -15,6 +15,22 @@
     - [Rogue] — [count] scavengers each compute ~[compute] cycles per
       dispatch before yielding, breaking the timely-return contract.
 
+    Cluster-level ({!is_net}) faults, interpreted by the
+    [lib/cluster] harness:
+
+    - [Crash] — machine [machine] fails at [at] (cycles, or percent of
+      the offered trace when [percent]); in-flight work is lost. With
+      [down > 0] a fresh replica comes back that many cycles later and
+      must win a health probe to be re-admitted;
+    - [Slownode] — machine [machine] serves every L3/DRAM access
+      [mult]× slower for the whole run (thermal throttling, a noisy
+      neighbor) without failing health checks;
+    - [Netloss] — every message is lost with probability [p] and
+      reordered (delivered a full transit late) with probability
+      [reorder];
+    - [Nicdrop] — every machine's NIC rx ring is shrunk to [depth]
+      messages, so bursts overflow and drop on the floor.
+
     Every injector draws from a seed derived with {!sub_seed}, so the
     same plan replays the same faults; see {!Harness} for the
     defended/undefended experiment arms. *)
@@ -24,15 +40,28 @@ type fault =
   | Degrade of { loss : float; skid : int; misattr : float }
   | Spike of { at : int; duration : int; l3_mult : int; dram_mult : int }
   | Rogue of { count : int; compute : int }
+  | Crash of { machine : int; at : int; percent : bool; down : int }
+  | Slownode of { machine : int; mult : int }
+  | Netloss of { p : float; reorder : float }
+  | Nicdrop of { depth : int }
 
 type plan = { faults : fault list; seed : int }
 
 val no_faults : seed:int -> plan
 
-(** Short stable id: ["drift" | "pebs" | "spike" | "rogue"]. *)
+(** Short stable id: ["drift" | "pebs" | "spike" | "rogue" | "crash"
+    | "slownode" | "netloss" | "nicdrop"]. *)
 val name : fault -> string
 
+(** True for the cluster-level faults ([Crash], [Slownode], [Netloss],
+    [Nicdrop]) that only the [lib/cluster] harness can run. *)
+val is_net : fault -> bool
+
+(** The single-machine vocabulary ({!Harness.run_plan}). *)
 val fault_names : string list
+
+(** The cluster vocabulary ([stallhide cluster], [inject]). *)
+val net_fault_names : string list
 
 (** Round-trips through {!parse_spec}. *)
 val describe : fault -> string
@@ -42,7 +71,9 @@ val to_json : fault -> Stallhide_util.Json.t
 (** Parse one CLI [--inject] spec, e.g. ["drift:shrink=128"],
     ["pebs:loss=0.4,skid=3,misattr=0.25"],
     ["spike:at=1000,for=9000,l3=4,dram=10"],
-    ["rogue:count=1,compute=3000"]. Omitted keys take those defaults;
+    ["rogue:count=1,compute=3000"], ["crash:m=0,at=50%,down=0"],
+    ["slownode:m=0,mult=6"], ["netloss:p=0.05,reorder=0"],
+    ["nicdrop:depth=8"]. Omitted keys take those defaults;
     a bare fault name is the all-defaults form.
     @raise Invalid_argument with a usable message on malformed specs. *)
 val parse_spec : string -> fault

@@ -46,6 +46,7 @@ type row = {
   completed : int;
   hidden_cycles : int;
   latency : Latency.summary;
+  split : Latency.split option;
   counters : (string * int) list;
 }
 
@@ -60,6 +61,7 @@ let row_to_json r =
       ("completed", Json.Int r.completed);
       ("hidden_cycles", Json.Int r.hidden_cycles);
       ("latency", Metrics.latency_to_json r.latency);
+      ("split", (match r.split with Some s -> Latency.split_to_json s | None -> Json.Null));
       ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) r.counters));
     ]
 
@@ -147,6 +149,7 @@ let run_drift ~opts ~workload ~shrink fault =
       completed = m.Metrics.ops;
       hidden_cycles = s0 - m.Metrics.stall;
       latency = metrics_latency m;
+      split = None;
       counters;
     }
   in
@@ -198,6 +201,7 @@ let run_degraded ~opts ~workload fault =
       completed = m.Metrics.ops;
       hidden_cycles = s0 - m.Metrics.stall;
       latency = metrics_latency m;
+      split = None;
       counters;
     }
   in
@@ -265,6 +269,7 @@ let run_rogue ~opts ~workload ~count ~compute fault =
       completed = r.Dual_mode.sched.Scheduler.completed;
       hidden_cycles = alone_stall - p.Context.stall_cycles;
       latency;
+      split = None;
       counters =
         [
           ("watchdog.strikes", r.Dual_mode.watchdog_strikes);
@@ -336,7 +341,22 @@ let run_spike ~opts ~workload fault =
   let def, _ = arm ~spiked:true ~protection:(Some protection) in
   let base_clean = rtc_stall ~spiked:false in
   let base_spiked = rtc_stall ~spiked:true in
+  (* how many latency-class tasks the trace offers: anything the server
+     shed or expired is missing from [latency_sojourns] and must be
+     reported as an SLO violation, censored at the protection deadline
+     (a lower bound on what the abandoned client actually waited) *)
+  let offered_latency =
+    let _, ts = build () in
+    List.length (List.filter (fun (t : Task.t) -> t.Task.class_ = Task.Latency) ts)
+  in
   let mk arm (r : Server.result) fault base =
+    let answered = r.Server.latency_sojourns in
+    let split =
+      Latency.split
+        ~censor:protection.Server.deadline
+        ~dropped:(max 0 (offered_latency - List.length answered))
+        answered
+    in
     {
       scenario = "spike";
       workload;
@@ -345,7 +365,8 @@ let run_spike ~opts ~workload fault =
       cycles = r.Server.cycles;
       completed = r.Server.completed;
       hidden_cycles = base - r.Server.stall;
-      latency = Latency.summary r.Server.latency_sojourns;
+      latency = split.Latency.full;
+      split = Some split;
       counters =
         [
           ("server.shed", r.Server.shed);
@@ -371,6 +392,12 @@ let run ?(opts = default_opts) ~workload fault =
   | Faults.Degrade _ -> run_degraded ~opts ~workload fault
   | Faults.Rogue { count; compute } -> run_rogue ~opts ~workload ~count ~compute fault
   | Faults.Spike _ -> run_spike ~opts ~workload fault
+  | f when Faults.is_net f ->
+      invalid_arg
+        (Printf.sprintf
+           "Harness.run: %s is a cluster-level fault; run it through the cluster harness"
+           (Faults.name f))
+  | _ -> assert false
 
 let run_plan ?(opts = default_opts) ~workloads (plan : Faults.plan) =
   let opts = { opts with seed = plan.Faults.seed } in

@@ -53,6 +53,14 @@ type row = {
   completed : int;  (** operations (drift/pebs/rogue) or requests (spike) *)
   hidden_cycles : int;  (** vs the no-hiding reference; negative = net loss *)
   latency : Stallhide_runtime.Latency.summary;
+      (** request scenarios (spike, cluster): the {e full} offered-load
+          summary with dropped requests censored at the deadline —
+          shedding work no longer flatters the percentiles. Other
+          scenarios: operation latency as before. *)
+  split : Stallhide_runtime.Latency.split option;
+      (** goodput vs offered split for scenarios that can drop requests
+          ([Some] for spike and the cluster rows); [None] where request
+          dropping cannot occur *)
   counters : (string * int) list;  (** defense counters ([watchdog.*], [drift.*], [server.*]) *)
 }
 

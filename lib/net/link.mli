@@ -1,0 +1,23 @@
+(** A seeded, possibly faulty network link.
+
+    [transit] prices one message: [None] means the packet was lost (the
+    sender's timeout machinery is the only recovery), otherwise the
+    delivery time is [now + cost] plus uniform jitter, plus a full
+    extra [cost] when the draw says this packet is reordered — late
+    enough that a back-to-back successor overtakes it.
+
+    Determinism: draws come from a private seeded state, and a pristine
+    link (loss 0, reorder 0, jitter 0) consumes no randomness at all —
+    adding messages to a fault-free run cannot perturb later draws. *)
+
+type t
+
+val create : ?loss:float -> ?reorder:float -> ?jitter:int -> seed:int -> unit -> t
+
+val transit : t -> now:int -> cost:int -> int option
+
+val sent : t -> int
+
+val dropped : t -> int
+
+val reordered : t -> int

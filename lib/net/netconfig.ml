@@ -1,0 +1,76 @@
+open Stallhide_util
+
+type t = {
+  wire_latency : int;
+  per_line : int;
+  rx_depth : int;
+  small_bytes : int;
+  fast_path_cost : int;
+  dispatch_cost : int;
+  cache_inject : bool;
+  req_bytes : int;
+  resp_bytes : int;
+}
+
+let default =
+  {
+    wire_latency = 120;
+    per_line = 4;
+    rx_depth = 64;
+    small_bytes = 256;
+    fast_path_cost = 20;
+    dispatch_cost = 80;
+    cache_inject = true;
+    req_bytes = 64;
+    resp_bytes = 128;
+  }
+
+let validate t =
+  let pos name v = if v <= 0 then invalid_arg ("Netconfig: " ^ name ^ " must be positive") in
+  pos "wire_latency" t.wire_latency;
+  pos "per_line" t.per_line;
+  pos "small_bytes" t.small_bytes;
+  pos "req_bytes" t.req_bytes;
+  pos "resp_bytes" t.resp_bytes;
+  if t.fast_path_cost < 0 || t.dispatch_cost < 0 then
+    invalid_arg "Netconfig: path costs must be non-negative";
+  if t.fast_path_cost > t.dispatch_cost then
+    invalid_arg "Netconfig: fast path must not cost more than the dispatch queue"
+
+let lean t ~bytes = bytes <= t.small_bytes
+
+let lines (mem : Stallhide_mem.Memconfig.t) ~bytes =
+  (bytes + mem.line_bytes - 1) / mem.line_bytes
+
+(* DMA lands the payload line by line; with cache injection each line is
+   written straight into the shared L3 (DDIO-style), otherwise it goes
+   to DRAM and the first touch pays the full miss. *)
+let dma_cost t (mem : Stallhide_mem.Memconfig.t) ~bytes =
+  let per_line =
+    t.per_line + if t.cache_inject then mem.l3.latency else mem.dram_latency
+  in
+  lines mem ~bytes * per_line
+
+let rx_cost t mem ~bytes =
+  t.wire_latency + dma_cost t mem ~bytes
+  + if lean t ~bytes then t.fast_path_cost else t.dispatch_cost
+
+(* The client/LB side always takes the lean path: responses are small
+   and the front end keeps a dedicated completion ring. *)
+let tx_cost t mem ~bytes = t.wire_latency + dma_cost t mem ~bytes + t.fast_path_cost
+
+let rtt t mem = rx_cost t mem ~bytes:t.req_bytes + tx_cost t mem ~bytes:t.resp_bytes
+
+let to_json t =
+  Json.Obj
+    [
+      ("wire_latency", Json.Int t.wire_latency);
+      ("per_line", Json.Int t.per_line);
+      ("rx_depth", Json.Int t.rx_depth);
+      ("small_bytes", Json.Int t.small_bytes);
+      ("fast_path_cost", Json.Int t.fast_path_cost);
+      ("dispatch_cost", Json.Int t.dispatch_cost);
+      ("cache_inject", Json.Bool t.cache_inject);
+      ("req_bytes", Json.Int t.req_bytes);
+      ("resp_bytes", Json.Int t.resp_bytes);
+    ]

@@ -42,6 +42,7 @@ type t = {
   mutable steal_source : (unit -> Context.t option) option;
   mutable on_complete : (Context.t -> now:int -> unit) option;
   mutable faults : string list;
+  mutable scav_enabled : bool;
   stats : stats;
 }
 
@@ -59,6 +60,7 @@ let create ?(config = default_config) ?obs hier mem =
     steal_source = None;
     on_complete = None;
     faults = [];
+    scav_enabled = true;
     stats =
       {
         dispatches = 0;
@@ -123,6 +125,10 @@ let donate t =
 let set_steal_source t f = t.steal_source <- Some f
 
 let set_on_complete t f = t.on_complete <- Some f
+
+let set_scavengers_enabled t enabled = t.scav_enabled <- enabled
+
+let scavengers_enabled t = t.scav_enabled
 
 type outcome = Worked | Idle
 
@@ -214,7 +220,7 @@ let hide t ~deadline =
               retire_scavenger t j;
               go (budget - 1))
   in
-  go (2 * max 1 (Array.length t.pool))
+  if t.scav_enabled then go (2 * max 1 (Array.length t.pool))
 
 let quiescent t = t.current = None && Queue.is_empty t.queue
 
@@ -247,6 +253,7 @@ let step t ~deadline =
             t.stats.fault_count <- t.stats.fault_count + 1;
             t.current <- None;
             Worked)
+    | None when not t.scav_enabled -> Idle
     | None -> (
         (* Batch-only period: burn down scavengers depth-first. *)
         match next_scavenger t with

@@ -93,6 +93,15 @@ val set_steal_source : t -> (unit -> Context.t option) -> unit
     halts (not for scavengers). *)
 val set_on_complete : t -> (Context.t -> now:int -> unit) -> unit
 
+(** Brownout demotion: with scavengers disabled the core neither hides
+    stalls nor burns down batch work — primaries run alone, stalls stay
+    exposed, and an empty request queue reports [Idle] immediately.
+    Cluster-wide overload control flips this to shed batch work before
+    missing the latency SLO. Default: enabled. *)
+val set_scavengers_enabled : t -> bool -> unit
+
+val scavengers_enabled : t -> bool
+
 type outcome =
   | Worked  (** ran at least one slice; clock advanced *)
   | Idle  (** nothing runnable: no request, no ready/stealable scavenger *)

@@ -117,3 +117,54 @@ let merge summaries =
 let pp_summary fmt s =
   Format.fprintf fmt "n=%d mean=%.1f sd=%.1f p50=%d p90=%d p99=%d p99.9=%d max=%d" s.count s.mean
     s.stddev s.p50 s.p90 s.p99 s.p999 s.max
+
+let summary_to_json s =
+  Json.Obj
+    [
+      ("count", Json.Int s.count);
+      ("mean", Json.Float s.mean);
+      ("stddev", Json.Float s.stddev);
+      ("p50", Json.Int s.p50);
+      ("p90", Json.Int s.p90);
+      ("p99", Json.Int s.p99);
+      ("p999", Json.Int s.p999);
+      ("max", Json.Int s.max);
+    ]
+
+type split = {
+  offered : int;
+  answered : int;
+  dropped : int;
+  censor : int;
+  goodput : summary;
+  full : summary;
+}
+
+let split ~censor ~dropped answered_lats =
+  if dropped < 0 then invalid_arg "Latency.split: dropped must be >= 0";
+  if censor < 0 then invalid_arg "Latency.split: censor must be >= 0";
+  let answered = List.length answered_lats in
+  let censored = List.init dropped (fun _ -> censor) in
+  {
+    offered = answered + dropped;
+    answered;
+    dropped;
+    censor;
+    goodput = summary answered_lats;
+    full = summary (List.rev_append censored answered_lats);
+  }
+
+let violation_rate s =
+  if s.offered = 0 then 0.0 else float_of_int s.dropped /. float_of_int s.offered
+
+let split_to_json s =
+  Json.Obj
+    [
+      ("offered", Json.Int s.offered);
+      ("answered", Json.Int s.answered);
+      ("dropped", Json.Int s.dropped);
+      ("censor", Json.Int s.censor);
+      ("violation_rate", Json.Float (violation_rate s));
+      ("goodput", summary_to_json s.goodput);
+      ("full", summary_to_json s.full);
+    ]

@@ -63,3 +63,34 @@ val percentile : int list -> float -> int
 val merge : summary list -> summary
 
 val pp_summary : Format.formatter -> summary -> unit
+
+val summary_to_json : summary -> Stallhide_util.Json.t
+
+(** Goodput vs offered accounting for runs that drop work.
+
+    A request shed by overload protection, expired past its deadline or
+    abandoned by a client timeout is an SLO violation, not a sample to
+    discard: [goodput] summarizes only the answered requests (the
+    flattering view), [full] summarizes the whole offered load with
+    every dropped request {e censored} at [censor] cycles — the
+    deadline or timeout bound, a lower bound on the latency the victim
+    actually observed. Percentiles over [full] are therefore exact as
+    long as they fall below the censor point and honest lower bounds
+    above it. *)
+type split = {
+  offered : int;  (** answered + dropped *)
+  answered : int;
+  dropped : int;  (** shed + expired + timed out + lost *)
+  censor : int;  (** latency assigned to each dropped request *)
+  goodput : summary;  (** answered requests only *)
+  full : summary;  (** offered load, dropped requests censored *)
+}
+
+(** [split ~censor ~dropped answered_lats].
+    @raise Invalid_argument on negative [censor] or [dropped]. *)
+val split : censor:int -> dropped:int -> int list -> split
+
+(** Dropped fraction of offered load (0 when nothing was offered). *)
+val violation_rate : split -> float
+
+val split_to_json : split -> Stallhide_util.Json.t

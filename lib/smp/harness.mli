@@ -70,6 +70,25 @@ type params = {
 
 val default_params : params
 
+(** Cumulative Zipf table over the key universe (weight
+    [1/(rank+1)^skew]) and a sampler over it — shared with the cluster
+    harness's open-loop clients. *)
+val zipf_cdf : universe:int -> skew:float -> float array
+
+val zipf_sample : float array -> Random.State.t -> int
+
+(** Profile + instrument once on a small twin workload with the same
+    program text; callers rebind the returned program to every serving
+    workload ({!Stallhide_workloads.Workload.with_program}). Returns
+    [(program, verify_errors, verify_warnings)]. *)
+val instrument_twin :
+  twin:Stallhide_workloads.Workload.t ->
+  placement:placement ->
+  mem:Stallhide_mem.Memconfig.t ->
+  ?scavenger_interval:int ->
+  unit ->
+  Stallhide_isa.Program.t * int * int
+
 type run = {
   params : params;
   result : Machine.result;

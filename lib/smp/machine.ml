@@ -62,175 +62,259 @@ type result = {
   summary : Latency.summary;
 }
 
+module Live = struct
+  type t = {
+    config : config;
+    policy : Dispatch.policy;
+    n : int;
+    shared : Shared_l3.t;
+    streams : Stallhide_obs.Stream.t array;
+    scheds : Core_sched.t array;
+    sojourns : int Vec.t array;
+    by_ctx : (int, request) Hashtbl.t;
+    pending : request Queue.t;
+    submitted : request Vec.t;
+    mutable last_arrival : int;
+    mutable on_complete : (request -> core:int -> now:int -> unit) option;
+  }
+
+  let create ?(config = default_config) ~policy ~mem ~scavengers () =
+    let n = config.cores in
+    if n <= 0 then invalid_arg "Machine: cores must be positive";
+    if Array.length scavengers <> n then
+      invalid_arg "Machine: scavengers must have one list per core";
+    let shared =
+      Shared_l3.create ~window:config.l3_window ~budget:config.l3_budget config.memcfg
+    in
+    let streams = Array.init n (fun _ -> Stallhide_obs.Stream.create ()) in
+    let scheds =
+      Array.init n (fun i ->
+          let hier = Hierarchy.create_core config.memcfg ~shared in
+          config.prepare_core i hier;
+          let engine =
+            {
+              config.core.Core_sched.engine with
+              Engine.hooks =
+                Events.compose
+                  [
+                    config.core.Core_sched.engine.Engine.hooks;
+                    Stallhide_obs.Stream.hooks streams.(i);
+                  ];
+            }
+          in
+          Core_sched.create
+            ~config:{ config.core with Core_sched.engine }
+            ~obs:streams.(i) hier mem)
+    in
+    Array.iteri (fun i scavs -> List.iter (Core_sched.add_scavenger scheds.(i)) scavs) scavengers;
+    if config.steal then
+      Array.iteri
+        (fun i thief ->
+          Core_sched.set_steal_source thief (fun () ->
+              (* victim: the most-loaded other core, by cold-stealable count *)
+              let best = ref (-1) in
+              let best_n = ref 0 in
+              for j = 0 to n - 1 do
+                if j <> i then begin
+                  let s = Core_sched.stealable scheds.(j) in
+                  if s > !best_n then begin
+                    best := j;
+                    best_n := s
+                  end
+                end
+              done;
+              if !best < 0 then None
+              else
+                match Core_sched.donate scheds.(!best) with
+                | Some ctx as stolen ->
+                    Stallhide_obs.Stream.record streams.(i)
+                      (Stallhide_obs.Event.Steal
+                         {
+                           ctx = ctx.Context.id;
+                           from_core = !best;
+                           to_core = i;
+                           cycle = Core_sched.clock thief;
+                         });
+                    stolen
+                | None -> None))
+        scheds;
+    let t =
+      {
+        config;
+        policy;
+        n;
+        shared;
+        streams;
+        scheds;
+        sojourns = Array.init n (fun _ -> Vec.create ());
+        by_ctx = Hashtbl.create 64;
+        pending = Queue.create ();
+        submitted = Vec.create ();
+        last_arrival = min_int;
+        on_complete = None;
+      }
+    in
+    Array.iteri
+      (fun i sched ->
+        Core_sched.set_on_complete sched (fun ctx ~now ->
+            match Hashtbl.find_opt t.by_ctx ctx.Context.id with
+            | Some r ->
+                r.finished_at <- now;
+                Stallhide_obs.Stream.record streams.(i)
+                  (Stallhide_obs.Event.Span_close
+                     { ctx = ctx.Context.id; name = "request"; cycle = now });
+                Vec.push t.sojourns.(i) (now - r.arrival);
+                (match t.on_complete with Some f -> f r ~core:i ~now | None -> ())
+            | None -> ()))
+      scheds;
+    t
+
+  let set_on_complete t f = t.on_complete <- Some f
+
+  let set_scavengers_enabled t enabled =
+    Array.iter (fun s -> Core_sched.set_scavengers_enabled s enabled) t.scheds
+
+  let submit t r =
+    if r.home < 0 || r.home >= t.n then invalid_arg "Machine: request home out of range";
+    if r.arrival < t.last_arrival then
+      invalid_arg "Machine: requests must be submitted in arrival order";
+    t.last_arrival <- r.arrival;
+    Hashtbl.replace t.by_ctx r.ctx.Context.id r;
+    Queue.push r t.pending;
+    Vec.push t.submitted r
+
+  let core_clock t i = Core_sched.clock t.scheds.(i)
+
+  let argmin t =
+    let best = ref 0 in
+    for i = 1 to t.n - 1 do
+      if core_clock t i < core_clock t !best then best := i
+    done;
+    !best
+
+  let clock t = core_clock t (argmin t)
+
+  let release_upto t now =
+    let due () =
+      match Queue.peek_opt t.pending with Some r -> r.arrival <= now | None -> false
+    in
+    while due () do
+      let r = Queue.pop t.pending in
+      let depths = Array.init t.n (fun i -> Core_sched.queue_depth t.scheds.(i)) in
+      let target = Dispatch.choose t.policy ~home:r.home ~depths in
+      r.served_by <- target;
+      Stallhide_obs.Stream.record t.streams.(target)
+        (Stallhide_obs.Event.Span_open
+           { ctx = r.ctx.Context.id; name = "request"; cycle = r.arrival });
+      Core_sched.submit t.scheds.(target) r.ctx
+    done
+
+  let all_quiescent t =
+    let q = ref true in
+    Array.iter (fun s -> if not (Core_sched.quiescent s) then q := false) t.scheds;
+    !q
+
+  let quiescent t = Queue.is_empty t.pending && all_quiescent t
+
+  let backlog t =
+    Queue.length t.pending
+    + Array.fold_left (fun acc s -> acc + Core_sched.queue_depth s) 0 t.scheds
+
+  let next_action t =
+    if not (all_quiescent t) then Some (clock t)
+    else
+      match Queue.peek_opt t.pending with
+      | Some r -> Some (max r.arrival (clock t))
+      | None -> None
+
+  let step t =
+    let c = argmin t in
+    release_upto t (core_clock t c);
+    match Core_sched.step t.scheds.(c) ~deadline:t.config.max_cycles with
+    | Core_sched.Worked -> Core_sched.Worked
+    | Core_sched.Idle ->
+        if not (Queue.is_empty t.pending) then begin
+          Core_sched.advance_clock t.scheds.(c) (Queue.peek t.pending).arrival;
+          Core_sched.Worked
+        end
+        else begin
+          (* leapfrog past the slowest non-quiescent core so the
+             argmin rotation keeps making progress *)
+          let any = ref false in
+          let target = ref (core_clock t c + 1) in
+          Array.iteri
+            (fun j s ->
+              if j <> c && not (Core_sched.quiescent s) then begin
+                any := true;
+                target := max !target (Core_sched.clock s + 1)
+              end)
+            t.scheds;
+          if !any then begin
+            Core_sched.advance_clock t.scheds.(c) !target;
+            Core_sched.Worked
+          end
+          else Core_sched.Idle
+        end
+
+  let finish t =
+    let reqs = Vec.to_array t.submitted in
+    let per_core =
+      Array.init t.n (fun i ->
+          {
+            core_id = i;
+            cycles = core_clock t i;
+            stats = Core_sched.stats t.scheds.(i);
+            mem = Hierarchy.stats (Core_sched.hierarchy t.scheds.(i));
+            stream = t.streams.(i);
+            sojourns = Vec.to_list t.sojourns.(i);
+            faults = Core_sched.faults t.scheds.(i);
+          })
+    in
+    let completed =
+      Array.fold_left (fun acc r -> if r.finished_at >= 0 then acc + 1 else acc) 0 reqs
+    in
+    let faulted =
+      Array.fold_left
+        (fun acc r ->
+          match r.ctx.Context.status with Context.Faulted _ -> acc + 1 | _ -> acc)
+        0 reqs
+    in
+    {
+      cycles = Array.fold_left (fun acc (c : core_result) -> max acc c.cycles) 0 per_core;
+      completed;
+      faulted;
+      per_core;
+      requests = reqs;
+      steals =
+        Array.fold_left (fun acc (c : core_result) -> acc + c.stats.Core_sched.steals) 0 per_core;
+      donations =
+        Array.fold_left (fun acc (c : core_result) -> acc + c.stats.Core_sched.donated) 0 per_core;
+      l3 = Shared_l3.stats t.shared;
+      summary =
+        Latency.merge
+          (Array.to_list
+             (Array.map (fun (c : core_result) -> Latency.summary c.sojourns) per_core));
+    }
+end
+
 let run ?(config = default_config) ~policy ~mem ~requests ~scavengers () =
-  let n = config.cores in
-  if n <= 0 then invalid_arg "Machine.run: cores must be positive";
-  if Array.length scavengers <> n then
-    invalid_arg "Machine.run: scavengers must have one list per core";
   let reqs = Array.of_list requests in
   Array.iteri
     (fun i r ->
       if i > 0 && r.arrival < reqs.(i - 1).arrival then
         invalid_arg "Machine.run: requests must be sorted by arrival";
-      if r.home < 0 || r.home >= n then invalid_arg "Machine.run: request home out of range")
+      if r.home < 0 || r.home >= config.cores then
+        invalid_arg "Machine.run: request home out of range")
     reqs;
-  let shared = Shared_l3.create ~window:config.l3_window ~budget:config.l3_budget config.memcfg in
-  let streams = Array.init n (fun _ -> Stallhide_obs.Stream.create ()) in
-  let scheds =
-    Array.init n (fun i ->
-        let hier = Hierarchy.create_core config.memcfg ~shared in
-        config.prepare_core i hier;
-        let engine =
-          {
-            config.core.Core_sched.engine with
-            Engine.hooks =
-              Events.compose
-                [
-                  config.core.Core_sched.engine.Engine.hooks;
-                  Stallhide_obs.Stream.hooks streams.(i);
-                ];
-          }
-        in
-        Core_sched.create
-          ~config:{ config.core with Core_sched.engine }
-          ~obs:streams.(i) hier mem)
-  in
-  Array.iteri (fun i scavs -> List.iter (Core_sched.add_scavenger scheds.(i)) scavs) scavengers;
-  if config.steal then
-    Array.iteri
-      (fun i thief ->
-        Core_sched.set_steal_source thief (fun () ->
-            (* victim: the most-loaded other core, by cold-stealable count *)
-            let best = ref (-1) in
-            let best_n = ref 0 in
-            for j = 0 to n - 1 do
-              if j <> i then begin
-                let s = Core_sched.stealable scheds.(j) in
-                if s > !best_n then begin
-                  best := j;
-                  best_n := s
-                end
-              end
-            done;
-            if !best < 0 then None
-            else
-              match Core_sched.donate scheds.(!best) with
-              | Some ctx as stolen ->
-                  Stallhide_obs.Stream.record streams.(i)
-                    (Stallhide_obs.Event.Steal
-                       {
-                         ctx = ctx.Context.id;
-                         from_core = !best;
-                         to_core = i;
-                         cycle = Core_sched.clock thief;
-                       });
-                  stolen
-              | None -> None))
-      scheds;
-  let by_ctx = Hashtbl.create (Array.length reqs) in
-  Array.iter (fun r -> Hashtbl.replace by_ctx r.ctx.Context.id r) reqs;
-  let sojourns = Array.init n (fun _ -> Vec.create ()) in
-  Array.iteri
-    (fun i sched ->
-      Core_sched.set_on_complete sched (fun ctx ~now ->
-          match Hashtbl.find_opt by_ctx ctx.Context.id with
-          | Some r ->
-              r.finished_at <- now;
-              Stallhide_obs.Stream.record streams.(i)
-                (Stallhide_obs.Event.Span_close
-                   { ctx = ctx.Context.id; name = "request"; cycle = now });
-              Vec.push sojourns.(i) (now - r.arrival)
-          | None -> ()))
-    scheds;
-  let total = Array.length reqs in
-  let released = ref 0 in
-  let clock i = Core_sched.clock scheds.(i) in
-  let argmin () =
-    let best = ref 0 in
-    for i = 1 to n - 1 do
-      if clock i < clock !best then best := i
-    done;
-    !best
-  in
-  let release_upto now =
-    while !released < total && reqs.(!released).arrival <= now do
-      let r = reqs.(!released) in
-      let depths = Array.init n (fun i -> Core_sched.queue_depth scheds.(i)) in
-      let target = Dispatch.choose policy ~home:r.home ~depths in
-      r.served_by <- target;
-      Stallhide_obs.Stream.record streams.(target)
-        (Stallhide_obs.Event.Span_open
-           { ctx = r.ctx.Context.id; name = "request"; cycle = r.arrival });
-      Core_sched.submit scheds.(target) r.ctx;
-      incr released
-    done
-  in
-  let all_quiescent () =
-    let q = ref true in
-    Array.iter (fun s -> if not (Core_sched.quiescent s) then q := false) scheds;
-    !q
-  in
+  let live = Live.create ~config ~policy ~mem ~scavengers () in
+  Array.iter (Live.submit live) reqs;
   let running = ref true in
   while !running do
-    let c = argmin () in
-    if clock c >= config.max_cycles then running := false
-    else begin
-      release_upto (clock c);
-      if !released = total && all_quiescent () then running := false
-      else
-        match Core_sched.step scheds.(c) ~deadline:config.max_cycles with
-        | Core_sched.Worked -> ()
-        | Core_sched.Idle ->
-            if !released < total then
-              Core_sched.advance_clock scheds.(c) reqs.(!released).arrival
-            else begin
-              (* leapfrog past the slowest non-quiescent core so the
-                 argmin rotation keeps making progress *)
-              let target = ref (clock c + 1) in
-              Array.iteri
-                (fun j s ->
-                  if j <> c && not (Core_sched.quiescent s) then
-                    target := max !target (Core_sched.clock s + 1))
-                scheds;
-              Core_sched.advance_clock scheds.(c) !target
-            end
-    end
+    if Live.clock live >= config.max_cycles then running := false
+    else if Live.quiescent live then running := false
+    else ignore (Live.step live)
   done;
-  let per_core =
-    Array.init n (fun i ->
-        {
-          core_id = i;
-          cycles = clock i;
-          stats = Core_sched.stats scheds.(i);
-          mem = Hierarchy.stats (Core_sched.hierarchy scheds.(i));
-          stream = streams.(i);
-          sojourns = Vec.to_list sojourns.(i);
-          faults = Core_sched.faults scheds.(i);
-        })
-  in
-  let completed =
-    Array.fold_left (fun acc r -> if r.finished_at >= 0 then acc + 1 else acc) 0 reqs
-  in
-  let faulted =
-    Array.fold_left
-      (fun acc r -> match r.ctx.Context.status with Context.Faulted _ -> acc + 1 | _ -> acc)
-      0 reqs
-  in
-  {
-    cycles = Array.fold_left (fun acc (c : core_result) -> max acc c.cycles) 0 per_core;
-    completed;
-    faulted;
-    per_core;
-    requests = reqs;
-    steals =
-      Array.fold_left (fun acc (c : core_result) -> acc + c.stats.Core_sched.steals) 0 per_core;
-    donations =
-      Array.fold_left (fun acc (c : core_result) -> acc + c.stats.Core_sched.donated) 0 per_core;
-    l3 = Shared_l3.stats shared;
-    summary =
-      Latency.merge
-        (Array.to_list (Array.map (fun (c : core_result) -> Latency.summary c.sojourns) per_core));
-  }
+  Live.finish live
 
 let throughput r =
   if r.cycles = 0 then 0.0

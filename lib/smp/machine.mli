@@ -72,6 +72,67 @@ type result = {
   summary : Latency.summary;  (** per-core summaries merged *)
 }
 
+(** The machine as an incrementally steppable simulation — the same
+    engine {!run} drives to completion, opened up so an outer
+    discrete-event loop (the M-machine cluster) can interleave request
+    submission with stepping. Determinism is unchanged: the sequence of
+    per-core scheduler operations is a pure function of the submission
+    trace, and {!run} is a thin wrapper over this module.
+
+    Submissions must arrive in non-decreasing [arrival] order, but need
+    not be known up front. A machine that ran ahead of a later
+    submission's [arrival] (its cores idled past it) serves the request
+    at its current clock — the bounded anachronism a real NIC's rx
+    queue absorbs. *)
+module Live : sig
+  type t
+
+  val create :
+    ?config:config ->
+    policy:Dispatch.policy ->
+    mem:Address_space.t ->
+    scavengers:Context.t list array ->
+    unit ->
+    t
+
+  (** Enqueue one request ([arrival] must be >= the previous
+      submission's). It is released to a core once the machine clock
+      reaches the arrival.
+      @raise Invalid_argument on out-of-order arrival or bad home. *)
+  val submit : t -> request -> unit
+
+  (** Smallest core clock — the machine's position in simulated time. *)
+  val clock : t -> int
+
+  (** When the machine would next do productive work: its clock while
+      any core is busy, the next pending arrival when drained, [None]
+      when {!quiescent}. The cluster's min-time loop keys on this. *)
+  val next_action : t -> int option
+
+  (** No pending or in-flight request on any core. *)
+  val quiescent : t -> bool
+
+  (** Pending releases plus every core's queue depth — the load signal
+      a balancer or brownout controller reads. *)
+  val backlog : t -> int
+
+  (** Release due arrivals and step the lowest-clock core once;
+      [Idle] only when {!quiescent} (or past [max_cycles]). *)
+  val step : t -> Stallhide_runtime.Core_sched.outcome
+
+  (** Called after internal bookkeeping whenever a request completes —
+      the cluster's completion-to-response hook. *)
+  val set_on_complete : t -> (request -> core:int -> now:int -> unit) -> unit
+
+  (** Brownout demotion fan-out:
+      {!Stallhide_runtime.Core_sched.set_scavengers_enabled} on every
+      core. *)
+  val set_scavengers_enabled : t -> bool -> unit
+
+  (** Snapshot the machine into a {!result}. *)
+  val finish : t -> result
+end
+
 (** [run ~config ~policy ~mem ~requests ~scavengers ()] serves
     [requests] (sorted by arrival; released when the machine clock
     reaches each arrival, steered by [policy] over live queue depths)
