@@ -1385,6 +1385,118 @@ let c23 () =
     failwith (Printf.sprintf "C23: %d cluster fuzz-oracle counterexample(s)" oracle_failures)
 
 (* ------------------------------------------------------------------ *)
+(* C24 — CoroBase-style transaction engine (lib/txn).                  *)
+(* ------------------------------------------------------------------ *)
+
+let c24 () =
+  let module R = Stallhide_txn.Runner in
+  let module L = Latency in
+  let modes = [ R.Seq; R.Interleaved; R.Interleaved_pgo ] in
+  let p = { R.default_params with R.seed } in
+  let p99 (m : Metrics.t) =
+    match m.Metrics.latency with Some s -> s.L.p99 | None -> 0
+  in
+  let p50 (m : Metrics.t) =
+    match m.Metrics.latency with Some s -> s.L.p50 | None -> 0
+  in
+  let row mix (o : R.outcome) =
+    let m = o.R.metrics in
+    let c = o.R.counters in
+    [
+      R.mode_to_string o.R.mode;
+      fi mix;
+      fi m.Metrics.cycles;
+      ff ~decimals:3 m.Metrics.throughput;
+      fi (p50 m);
+      fi (p99 m);
+      fi c.R.commits;
+      fi c.R.aborts;
+      fi c.R.latch_waits;
+      Printf.sprintf "%d/%d" c.R.group_prefetch_hits c.R.lookups;
+    ]
+  in
+  (* batch-of-gets (the CoroBase multi-get headline) and a 50% multi-put
+     mix, all three modes on one core *)
+  let gets = List.map (fun m -> R.run m p) modes in
+  let mixed = List.map (fun m -> R.run m { p with R.mix = 50 }) modes in
+  Experiment.table
+    ~title:"C24: transaction engine — sequential vs interleaved vs interleaved+PGO (1 core)"
+    ~note:
+      "K=8 in-flight transaction coroutines, 96 txns each, batch=4 Zipfian keys over an \
+       8192-key latched table; tput is index ops/kcycle, latency is per-transaction (commit \
+       opmark); gph = lookups answered by the group-prefetched home slot"
+    ~header:
+      [ "mode"; "mix%"; "cycles"; "tput"; "p50"; "p99"; "commits"; "aborts"; "waits"; "gph" ]
+    (List.map (row 0) gets @ List.map (row 50) mixed);
+  (* the lib/smp machine: one transaction per request, per-core tables,
+     scan scavengers under the interleaved modes *)
+  let cores = 4 in
+  let smp_p = { p with R.txns = 48 } in
+  let smp = List.map (fun m -> (m, R.run_smp ~cores m smp_p)) modes in
+  Experiment.table
+    ~title:(Printf.sprintf "C24b: transaction engine on the %d-core machine" cores)
+    ~note:
+      "one transaction per request (sojourn = per-txn latency), 48 requests/core with \
+       staggered arrivals, per-core table instances, 2 analytics-scan scavengers/core in \
+       the interleaved modes; a core serves one transaction at a time (FIFO), so the \
+       dual-mode win here is scan dispatches into transaction stall windows, not request \
+       throughput; interleaved-pgo instruments once and rebinds per core"
+    ~header:
+      [ "mode"; "cycles"; "txn/kcyc"; "p50"; "p99"; "p999"; "commits"; "waits"; "scav disp" ]
+    (List.map
+       (fun ((m : R.mode), (o : R.smp_outcome)) ->
+         [
+           R.mode_to_string m;
+           fi o.R.cycles;
+           ff ~decimals:3 o.R.txn_throughput;
+           fi o.R.summary.L.p50;
+           fi o.R.summary.L.p99;
+           fi o.R.summary.L.p999;
+           fi o.R.smp_counters.R.commits;
+           fi o.R.smp_counters.R.latch_waits;
+           fi o.R.scav_dispatches;
+         ])
+       smp);
+  let tput mode runs =
+    let o = List.find (fun (o : R.outcome) -> o.R.mode = mode) runs in
+    o.R.metrics.Metrics.throughput
+  in
+  Experiment.record "gets_seq_tput" (Stallhide_util.Json.Float (tput R.Seq gets));
+  Experiment.record "gets_interleaved_tput" (Stallhide_util.Json.Float (tput R.Interleaved gets));
+  Experiment.record "gets_pgo_tput" (Stallhide_util.Json.Float (tput R.Interleaved_pgo gets));
+  (* the claims under test: interleaving beats sequential on
+     batch-of-gets, and the pipeline's group prefetching beats the
+     per-key expert annotation *)
+  if tput R.Interleaved gets <= tput R.Seq gets then
+    failwith "C24: interleaved transactions did not beat sequential on batch-of-gets";
+  if tput R.Interleaved_pgo gets <= tput R.Interleaved gets then
+    failwith "C24: interleaved+PGO did not beat the manual interleaving";
+  if tput R.Interleaved_pgo gets <= tput R.Seq gets then
+    failwith "C24: interleaved+PGO did not beat sequential";
+  let smp_of mode = snd (List.find (fun ((m : R.mode), _) -> m = mode) smp) in
+  List.iter
+    (fun ((m : R.mode), (o : R.smp_outcome)) ->
+      if o.R.smp_counters.R.commits <> cores * smp_p.R.txns then
+        failwith
+          (Printf.sprintf "C24b: %s committed %d of %d transactions" (R.mode_to_string m)
+             o.R.smp_counters.R.commits (cores * smp_p.R.txns)))
+    smp;
+  (* dual-mode on the machine: the interleaved modes must actually fill
+     transaction stall windows with scan work, and may cost at most 15%
+     of sequential request throughput for it *)
+  List.iter
+    (fun mode ->
+      let o = smp_of mode in
+      if o.R.scav_dispatches = 0 then
+        failwith
+          (Printf.sprintf "C24b: no scavenger dispatches under %s" (R.mode_to_string mode));
+      if o.R.txn_throughput < 0.85 *. (smp_of R.Seq).R.txn_throughput then
+        failwith
+          (Printf.sprintf "C24b: %s retains under 85%% of sequential txn throughput"
+             (R.mode_to_string mode)))
+    [ R.Interleaved; R.Interleaved_pgo ]
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1410,6 +1522,7 @@ let experiments =
     ("C21", c21);
     ("C22", c22);
     ("C23", c23);
+    ("C24", c24);
   ]
 
 let () =

@@ -13,7 +13,7 @@ open Stallhide_workloads
 let workload_names =
   [
     "pointer-chase"; "hash-probe"; "btree"; "array-scan"; "hash-join"; "kv-server"; "graph-bfs";
-    "group-by"; "offload";
+    "group-by"; "offload"; "txn-oltp";
   ]
 
 let make_workload name ~lanes ~ops ~manual ~seed =
@@ -27,6 +27,7 @@ let make_workload name ~lanes ~ops ~manual ~seed =
   | "graph-bfs" -> Graph_bfs.make ~manual ~lanes ~vertices:(ops * 32) ~degree:4 ~seed ()
   | "group-by" -> Group_by.make ~manual ~lanes ~groups:16384 ~tuples:ops ~seed ()
   | "offload" -> Offload.make ~manual ~lanes ~ops ~overlap:24 ~seed ()
+  | "txn-oltp" -> Stallhide_txn.Txn_oltp.workload ~manual ~lanes ~txns:ops ~seed ()
   | other -> invalid_arg ("unknown workload " ^ other)
 
 let policy_of_string = function
@@ -1374,6 +1375,183 @@ let why_cmd =
           extract per-request critical paths.")
     term
 
+(* txn *)
+
+let txn_cmd =
+  let module R = Stallhide_txn.Runner in
+  let module L = Stallhide_runtime.Latency in
+  let module Obs = Stallhide_obs in
+  let module J = Stallhide_util.Json in
+  let txn mode inflight txns batch mix keys theta seed smp cores json =
+    let mode =
+      match R.mode_of_string mode with
+      | Some m -> m
+      | None ->
+          Printf.eprintf
+            "stallhide: unknown mode %S (available: seq, interleaved, interleaved-pgo)\n" mode;
+          exit 2
+    in
+    if batch < 1 || batch > 8 then begin
+      Printf.eprintf "stallhide: --batch must be in 1..8 (got %d)\n" batch;
+      exit 2
+    end;
+    if mix < 0 || mix > 100 then begin
+      Printf.eprintf "stallhide: --mix must be in 0..100 (got %d)\n" mix;
+      exit 2
+    end;
+    if inflight <= 0 || txns <= 0 || keys <= 0 then begin
+      Printf.eprintf "stallhide: --inflight, --txns and --keys must be positive\n";
+      exit 2
+    end;
+    let p = { R.inflight; txns; batch; mix; keys; theta; seed } in
+    let params_json =
+      J.Obj
+        [
+          ("inflight", J.Int inflight);
+          ("txns", J.Int txns);
+          ("batch", J.Int batch);
+          ("mix", J.Int mix);
+          ("keys", J.Int keys);
+          ("theta", J.Float theta);
+          ("seed", J.Int seed);
+        ]
+    in
+    let counters_json (c : R.counters) =
+      J.Obj
+        [
+          ("commits", J.Int c.R.commits);
+          ("aborts", J.Int c.R.aborts);
+          ("latch_waits", J.Int c.R.latch_waits);
+          ("group_prefetch_hits", J.Int c.R.group_prefetch_hits);
+          ("lookups", J.Int c.R.lookups);
+        ]
+    in
+    let pp_counters (c : R.counters) =
+      Printf.printf
+        "txn counters: commits=%d aborts=%d latch_waits=%d group_prefetch_hits=%d/%d\n"
+        c.R.commits c.R.aborts c.R.latch_waits c.R.group_prefetch_hits c.R.lookups
+    in
+    if smp then begin
+      if cores <= 0 then begin
+        Printf.eprintf "stallhide: --cores must be positive (got %d)\n" cores;
+        exit 2
+      end;
+      let o = R.run_smp ~cores mode p in
+      let s = o.R.summary in
+      if json then
+        print_endline
+          (J.to_string_pretty
+             (J.Obj
+                [
+                  ("schema_version", J.Int 1);
+                  ("mode", J.String (R.mode_to_string mode));
+                  ("smp", J.Bool true);
+                  ("cores", J.Int cores);
+                  ("params", params_json);
+                  ("cycles", J.Int o.R.cycles);
+                  ("completed", J.Int o.R.completed);
+                  ("txn_throughput_tpk", J.Float o.R.txn_throughput);
+                  ("latency", Metrics.latency_to_json s);
+                  ("counters", counters_json o.R.smp_counters);
+                  ("scav_dispatches", J.Int o.R.scav_dispatches);
+                ]))
+      else begin
+        Printf.printf "txn (smp): %d core(s), mode %s, K=%d, batch=%d, mix=%d%%, seed %d\n"
+          cores (R.mode_to_string mode) inflight batch mix seed;
+        Printf.printf "transactions: %d committed in %d cycles (%.3f txn/kcycle)\n"
+          o.R.completed o.R.cycles o.R.txn_throughput;
+        Printf.printf "per-txn latency: mean=%.0f p50=%d p90=%d p99=%d p999=%d max=%d\n"
+          s.L.mean s.L.p50 s.L.p90 s.L.p99 s.L.p999 s.L.max;
+        Printf.printf "scavenger dispatches into txn stall windows: %d\n" o.R.scav_dispatches;
+        pp_counters o.R.smp_counters
+      end
+    end
+    else begin
+      let o = R.run mode p in
+      let reg = Obs.Registry.create () in
+      R.counters_into reg o;
+      if json then
+        print_endline
+          (J.to_string_pretty
+             (J.Obj
+                [
+                  ("schema_version", J.Int 1);
+                  ("mode", J.String (R.mode_to_string mode));
+                  ("smp", J.Bool false);
+                  ("params", params_json);
+                  ("metrics", Metrics.to_json o.R.metrics);
+                  ("counters", counters_json o.R.counters);
+                  ("registry", Obs.Registry.to_json reg);
+                ]))
+      else begin
+        Printf.printf "txn: mode %s, K=%d, txns/coroutine=%d, batch=%d, mix=%d%%, seed %d\n"
+          (R.mode_to_string mode) inflight txns batch mix seed;
+        Format.printf "%a@." Metrics.pp o.R.metrics;
+        (match o.R.metrics.Metrics.latency with
+        | Some s ->
+            Printf.printf "per-txn latency: mean=%.0f p50=%d p90=%d p99=%d p999=%d max=%d\n"
+              s.L.mean s.L.p50 s.L.p90 s.L.p99 s.L.p999 s.L.max
+        | None -> ());
+        pp_counters o.R.counters
+      end
+    end
+  in
+  let mode_arg =
+    Arg.(value & opt string "interleaved-pgo"
+         & info [ "mode" ] ~docv:"MODE"
+             ~doc:"Execution mode: seq | interleaved | interleaved-pgo.")
+  in
+  let inflight_arg =
+    Arg.(value & opt int R.default_params.R.inflight
+         & info [ "inflight" ] ~docv:"K"
+             ~doc:"In-flight transaction coroutines per core (the two-level mapping's K).")
+  in
+  let txns_arg =
+    Arg.(value & opt int R.default_params.R.txns
+         & info [ "txns" ] ~docv:"N" ~doc:"Transactions per coroutine.")
+  in
+  let batch_arg =
+    Arg.(value & opt int R.default_params.R.batch
+         & info [ "batch" ] ~docv:"B" ~doc:"Keys per multi-get/multi-put transaction (1-8).")
+  in
+  let mix_arg =
+    Arg.(value & opt int R.default_params.R.mix
+         & info [ "mix" ] ~docv:"PCT"
+             ~doc:"Multi-put percentage (0 = pure batch-of-gets, 100 = pure multi-put).")
+  in
+  let keys_arg =
+    Arg.(value & opt int R.default_params.R.keys
+         & info [ "keys" ] ~docv:"N" ~doc:"Populated keys in the table.")
+  in
+  let theta_arg =
+    Arg.(value & opt float R.default_params.R.theta
+         & info [ "theta" ] ~docv:"T" ~doc:"Zipfian skew over the key universe.")
+  in
+  let smp_arg =
+    Arg.(value & flag
+         & info [ "smp" ]
+             ~doc:"Run on the multi-core machine (one transaction per request, per-core \
+                   tables, scan scavengers under the interleaved modes).")
+  in
+  let cores_arg =
+    Arg.(value & opt int 4 & info [ "cores" ] ~docv:"N" ~doc:"Cores for --smp.")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit metrics and txn counters as JSON.")
+  in
+  let term =
+    Term.(
+      const txn $ mode_arg $ inflight_arg $ txns_arg $ batch_arg $ mix_arg $ keys_arg
+      $ theta_arg $ seed_arg $ smp_arg $ cores_arg $ json_arg)
+  in
+  Cmd.v
+    (Cmd.info "txn"
+       ~doc:
+         "Run the CoroBase-style transaction engine: K in-flight multi-key transactions \
+          per core as coroutines, sequential vs interleaved vs interleaved+PGO, reporting \
+          throughput, per-transaction latency and txn.* counters.")
+    term
+
 (* fuzz *)
 
 let fuzz_cmd =
@@ -1422,7 +1600,7 @@ let fuzz_cmd =
                   | None ->
                       Printf.eprintf
                         "stallhide: unknown oracle %S (available: primary, scavenger, smp, \
-                         fault, soundness, mutant, all)\n"
+                         fault, soundness, cluster, txn, mutant, all)\n"
                         n;
                       exit 2)
                 names
@@ -1456,8 +1634,10 @@ let fuzz_cmd =
              ~doc:
                "Oracle(s) to run: $(b,primary), $(b,scavenger), $(b,smp), $(b,fault), \
                 $(b,soundness) (static cache analysis vs simulator ground truth), \
-                $(b,mutant) (deliberately broken pass, for shrinker demos), or $(b,all) \
-                (the five real ones). Repeatable; default all.")
+                $(b,cluster), $(b,txn) (interleaved transactions bit-identical to a \
+                sequential replay of the committed schedule), $(b,mutant) (deliberately \
+                broken pass, for shrinker demos), or $(b,all) (the real ones). Repeatable; \
+                default all.")
   in
   let no_shrink_arg =
     Arg.(value & flag
@@ -1495,7 +1675,7 @@ let () =
   let info = Cmd.info "stallhide" ~version:"1.0.0" ~doc in
   let group =
     Cmd.group info
-      [ run_cmd; analyze_cmd; disasm_cmd; instrument_cmd; lint_cmd; profile_cmd; trace_cmd; inject_cmd; smp_cmd; cluster_cmd; why_cmd; fuzz_cmd ]
+      [ run_cmd; analyze_cmd; disasm_cmd; instrument_cmd; lint_cmd; profile_cmd; trace_cmd; inject_cmd; smp_cmd; cluster_cmd; txn_cmd; why_cmd; fuzz_cmd ]
   in
   (* Fail-fast contract of the pipeline: a rewrite the verifier rejects
      never runs. Render the diagnostics instead of a backtrace. *)

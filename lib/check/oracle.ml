@@ -10,9 +10,9 @@ open Stallhide_sched
 open Stallhide_smp
 open Stallhide_faults
 
-type name = Primary | Scavenger | Smp | Fault | Soundness | Cluster | Mutant
+type name = Primary | Scavenger | Smp | Fault | Soundness | Cluster | Txn | Mutant
 
-let all = [ Primary; Scavenger; Smp; Fault; Soundness; Cluster ]
+let all = [ Primary; Scavenger; Smp; Fault; Soundness; Cluster; Txn ]
 
 let to_string = function
   | Primary -> "primary"
@@ -21,6 +21,7 @@ let to_string = function
   | Fault -> "fault"
   | Soundness -> "soundness"
   | Cluster -> "cluster"
+  | Txn -> "txn"
   | Mutant -> "mutant"
 
 let of_string = function
@@ -30,6 +31,7 @@ let of_string = function
   | "fault" -> Some Fault
   | "soundness" -> Some Soundness
   | "cluster" -> Some Cluster
+  | "txn" -> Some Txn
   | "mutant" -> Some Mutant
   | _ -> None
 
@@ -509,6 +511,104 @@ let check_cluster cfg prog =
       | _ -> raise (Cex "hedged cluster lost a winner context"))
     (fst a).Cl.requests h.Cl.requests
 
+(* --- txn: interleaved transactions vs a sequential replay of the
+   committed schedule --- *)
+
+module Txn_oltp = Stallhide_txn.Txn_oltp
+
+(* The engine's serializability claim: strict per-key latching in
+   sorted order (all latches held before any data access, released at
+   commit) serializes conflicting transactions in commit order, so
+   replaying the lanes sequentially in their committed sequence must
+   reproduce the interleaved run's architectural state bit for bit.
+   The case's generated program supplies entropy only through [cfg];
+   the arms run the engine's own multi-key transaction program. *)
+let txn_build (cfg : Gen.cfg) =
+  let inflight = 2 + (abs cfg.Gen.lanes mod 4) in
+  let batch = 2 + (abs cfg.Gen.ops mod 3) in
+  let mix = 50 * (abs cfg.Gen.policy_ix mod 3) in
+  let keys = 16 + (8 * cfg.Gen.cores) in
+  Txn_oltp.make ~manual:true ~lanes:inflight ~txns:1 ~batch ~mix ~keys ~theta:0.9
+    ~seed:cfg.Gen.seed ()
+
+(* The stats line (aborts, latch waits) is the one deliberately
+   schedule-dependent region; zero it before capture so the arms
+   compare committed state only. *)
+let txn_finish label (r : Scheduler.result) wl (lay : Txn_oltp.layout) ctxs =
+  (match r.Scheduler.faults with
+  | m :: _ -> raise (Cex (Printf.sprintf "%s: context faulted: %s" label m))
+  | [] -> ());
+  if r.Scheduler.completed < Array.length ctxs then
+    raise
+      (Inv
+         (Printf.sprintf "%s: %d/%d transactions completed within %d cycles" label
+            r.Scheduler.completed (Array.length ctxs) budget));
+  let image = wl.Workload.image in
+  Address_space.store image lay.Txn_oltp.stats 0;
+  Address_space.store image (lay.Txn_oltp.stats + 8) 0;
+  { state = State.capture ~mem:image ctxs; cycles = r.Scheduler.cycles }
+
+let check_txn cfg prog =
+  (* validity gate, as in [check_smp]: the oracle runs its own
+     transaction program, but a generated/shrunk case that does not
+     halt cleanly must still read as Invalid, not pass *)
+  ignore (reference cfg prog);
+  let interleaved () =
+    let wl, lay = txn_build cfg in
+    let ctxs = Workload.contexts ~mode:Context.Primary wl in
+    let hier = Hierarchy.create Memconfig.default in
+    let r =
+      Scheduler.run_round_robin ~max_cycles:budget ~switch:Switch_cost.coroutine hier
+        wl.Workload.image ctxs
+    in
+    (txn_finish "interleaved" r wl lay ctxs, wl, lay)
+  in
+  (* metamorphic: equal seeds are bit-identical (state and clock) *)
+  let a, wl_a, lay_a = interleaved () in
+  let b, _, _ = interleaved () in
+  if a.cycles <> b.cycles then
+    raise
+      (Cex
+         (Printf.sprintf "txn: nondeterministic cycles under equal seeds (%d vs %d)" a.cycles
+            b.cycles));
+  (match State.diff a.state b.state with
+  | Some d -> raise (Cex (Printf.sprintf "txn: nondeterministic state under equal seeds: %s" d))
+  | None -> ());
+  (* the committed schedule: one commit sequence number per lane *)
+  let lanes = Array.length lay_a.Txn_oltp.record_base in
+  let seq_of_lane =
+    Array.map (fun base -> Address_space.load wl_a.Workload.image base) lay_a.Txn_oltp.record_base
+  in
+  let seen = Array.make lanes false in
+  Array.iteri
+    (fun lane s ->
+      if s < 0 || s >= lanes || seen.(s) then
+        raise
+          (Cex
+             (Printf.sprintf "txn: commit sequence is not a permutation (lane %d committed %d)"
+                lane s));
+      seen.(s) <- true)
+    seq_of_lane;
+  let order = Array.make lanes 0 in
+  Array.iteri (fun lane s -> order.(s) <- lane) seq_of_lane;
+  (* differential: sequential replay of that schedule on a fresh image *)
+  let wl, lay = txn_build cfg in
+  let ctxs =
+    Array.map (fun lane -> Workload.context wl ~lane ~id:lane ~mode:Context.Primary) order
+  in
+  let hier = Hierarchy.create Memconfig.default in
+  let r = Scheduler.run_sequential ~max_cycles:budget hier wl.Workload.image ctxs in
+  let replay = txn_finish "sequential replay" r wl lay ctxs in
+  match State.diff replay.state a.state with
+  | Some d ->
+      raise
+        (Cex
+           (Printf.sprintf
+              "interleaved transactions diverge from the sequential replay of their \
+               committed schedule: %s"
+              d))
+  | None -> ()
+
 let clobber_loads prog =
   Program.to_items prog
   |> List.concat_map (fun item ->
@@ -533,6 +633,7 @@ let check name cfg prog =
     | Fault -> check_fault
     | Soundness -> check_soundness
     | Cluster -> check_cluster
+    | Txn -> check_txn
     | Mutant -> check_mutant
   in
   match f cfg prog with

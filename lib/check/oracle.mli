@@ -34,6 +34,17 @@
       load may never record a miss (multi-lane run), an [Always_miss]
       load must miss on every execution (1-lane cold-start run), and
       classification must be deterministic;
+    - [Txn] — the {!Stallhide_txn} transaction engine: K in-flight
+      multi-key transactions interleaved round-robin vs a sequential
+      replay of the same committed schedule (lane order = commit
+      sequence, fresh image). Strict sorted-order per-key latching
+      serializes conflicting transactions in commit order, so the
+      replay must be bit-identical on committed state (the
+      schedule-dependent stats line is masked); the interleaved run
+      itself is also replayed for the determinism metamorphic, and the
+      committed sequence numbers must form a permutation. The case's
+      generated program supplies entropy only through [cfg] — the arms
+      run the engine's own program;
     - [Mutant] — a deliberately broken pass (clobbers every load's
       destination register, the classic missed-context-restore bug).
       It must always fail; it exists to prove the oracles can see
@@ -42,9 +53,9 @@
 
 open Stallhide_isa
 
-type name = Primary | Scavenger | Smp | Fault | Soundness | Cluster | Mutant
+type name = Primary | Scavenger | Smp | Fault | Soundness | Cluster | Txn | Mutant
 
-(** The six real oracles — the default fuzz campaign. *)
+(** The seven real oracles — the default fuzz campaign. *)
 val all : name list
 
 val to_string : name -> string

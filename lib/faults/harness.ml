@@ -20,7 +20,7 @@ type opts = {
 let default_opts =
   { lanes = 8; ops = 1000; seed = 42; tasks = 40; task_ops = 6; interarrival = 600; latency_every = 4 }
 
-let workload_names = [ "pointer-chase"; "hash-probe"; "btree"; "kv-server" ]
+let workload_names = [ "pointer-chase"; "hash-probe"; "btree"; "kv-server"; "txn-oltp" ]
 
 (* [ws_scale] shrinks the working set (the drift injector's knob): the
    generated *program* is identical for any scale — only the image
@@ -35,6 +35,10 @@ let make ~workload ~lanes ~ops ~manual ~seed ~ws_scale () =
   | "btree" -> Btree.make ~manual ~lanes ~keys:(scale 16384) ~ops ~seed ()
   | "kv-server" ->
       Kv_server.make ~manual ~lanes ~table_slots:(scale 16384) ~requests:ops ~seed ()
+  | "txn-oltp" ->
+      (* the transaction program is address-free and reads every region
+         base from lane registers, so it too is identical at any scale *)
+      Stallhide_txn.Txn_oltp.workload ~manual ~lanes ~txns:ops ~keys:(scale 4096) ~seed ()
   | other -> invalid_arg ("Harness.make: unknown workload " ^ other)
 
 type row = {

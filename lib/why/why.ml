@@ -71,7 +71,7 @@ let default_config =
 let workload_names =
   [
     "pointer-chase"; "hash-probe"; "btree"; "array-scan"; "hash-join"; "kv-server"; "graph-bfs";
-    "group-by"; "offload";
+    "group-by"; "offload"; "txn-oltp";
   ]
 
 let make_workload name ~lanes ~ops ~manual ~seed =
@@ -88,6 +88,13 @@ let make_workload name ~lanes ~ops ~manual ~seed =
   | "graph-bfs" -> Graph_bfs.make ~manual ~lanes ~vertices:(ops * 32) ~degree:4 ~seed ()
   | "group-by" -> Group_by.make ~manual ~lanes ~groups:16384 ~tuples:ops ~seed ()
   | "offload" -> Offload.make ~manual ~lanes ~ops ~overlap:24 ~seed ()
+  (* one transaction is a multi-key batch (~10x the per-op work of the
+     flat workloads), so scale the op budget down to keep the
+     counterfactual re-runs affordable; lanes is K, the in-flight
+     transaction coroutines *)
+  | "txn-oltp" ->
+      Stallhide_txn.Txn_oltp.workload ~manual ~lanes ~txns:(max 1 (ops / 10)) ~keys:4096
+        ~seed ()
   | other -> invalid_arg ("Why.make_workload: unknown workload " ^ other)
 
 type ground_truth = { injected : string; rank : int option }
@@ -424,7 +431,14 @@ let single_sweep cfg =
         "double the DRAM latency",
         fun seed ->
           run ~memcfg:(Memconfig.with_dram_latency mem (mem.Memconfig.dram_latency * 2)) seed );
-      ("lanes*2", "double the concurrent lanes", fun seed -> run ~lanes:(cfg.lanes * 2) seed);
+      (* for the transaction engine, lanes is K — the concurrency knob
+         CoroBase tunes — so the doubled-lane arm reads as an inflight
+         sweep there *)
+      (if cfg.workload = "txn-oltp" then
+         ( "inflight*2",
+           "double K, the in-flight transaction coroutines",
+           fun seed -> run ~lanes:(cfg.lanes * 2) seed )
+       else ("lanes*2", "double the concurrent lanes", fun seed -> run ~lanes:(cfg.lanes * 2) seed));
     ]
   in
   Sweep.run ~seeds ~base:(fun seed -> run seed) ~knobs

@@ -243,6 +243,12 @@ let test_prometheus_roundtrip () =
   let opts, s = with_obs () in
   let m = Baselines.run_round_robin ~opts (chase ()) in
   let r = Obs.Stream.registry s in
+  (* the transaction engine's counters ride the same registry *)
+  let txn =
+    Stallhide_txn.Runner.(
+      run Seq { default_params with inflight = 2; txns = 4; keys = 256 })
+  in
+  Stallhide_txn.Runner.counters_into r txn;
   let text = Obs.Registry.to_prometheus r in
   let samples =
     List.filter_map
@@ -272,6 +278,12 @@ let test_prometheus_roundtrip () =
     (List.exists
        (fun l -> l = "# TYPE stallhide_stall_cycles counter")
        (String.split_on_char '\n' text));
+  Alcotest.(check int) "txn.commits counter round-trips"
+    txn.Stallhide_txn.Runner.counters.Stallhide_txn.Runner.commits
+    (sum_of "stallhide_txn_commits{");
+  Alcotest.(check int) "txn.group_prefetch_hits counter round-trips"
+    txn.Stallhide_txn.Runner.counters.Stallhide_txn.Runner.group_prefetch_hits
+    (sum_of "stallhide_txn_group_prefetch_hits{");
   (* histograms: _count, _sum and the +Inf bucket match the merged view *)
   let h = Option.get (Obs.Registry.merged r "dispatch.cycles") in
   Alcotest.(check (option int))
