@@ -118,6 +118,16 @@ let unyielded_loops cfg =
     in
     scan blk.Cfg.first
   in
+  (* A yield bounds the loop only if every iteration passes it: the
+     yield's block must dominate the back-edge source. A yield on a
+     conditionally-skipped side of the body (br over a load whose
+     instrumentation carries the only yield) leaves the bypassing
+     cycle yield-free — exactly the shape the interval verifier
+     rejects, so it must count as uncovered here too. *)
   List.filter
-    (fun l -> not (List.exists has_yield l.body))
+    (fun l ->
+      not
+        (List.exists
+           (fun b -> has_yield b && dominates t b l.back_edge_src)
+           l.body))
     (natural_loops cfg t)

@@ -30,7 +30,9 @@ type loop = {
     dominates [src]. *)
 val natural_loops : Cfg.t -> t -> loop list
 
-(** Pcs of natural-loop bodies that contain no yield of any kind —
-    cycles whose inter-yield interval is unbounded. Used to verify
+(** Natural loops with no yield on a block dominating the back-edge
+    source — i.e. loops some iteration of which can run yield-free, so
+    their inter-yield interval is unbounded. A yield on a
+    conditionally-skipped path does not cover the loop. Used to verify
     scavenger-pass coverage. *)
 val unyielded_loops : Cfg.t -> loop list

@@ -15,7 +15,7 @@ let capture ~mem ctxs =
              | Context.Done -> ("done", None)
              | Context.Faulted m -> ("faulted", Some m)
            in
-           { id = c.Context.id; status; fault; regs = Array.copy c.Context.regs })
+           { id = c.Context.id; status; fault; regs = Context.regs_array c })
     |> List.sort (fun a b -> compare a.id b.id)
   in
   let words = Address_space.used_bytes mem / Address_space.word_bytes in

@@ -168,6 +168,8 @@ let node_factory ?kv_program ?scav_program p =
         steal = true;
         max_cycles = p.horizon;
         prepare_core = (fun _ _ -> ());
+        sync = Machine.Interleaved;
+        trace = true;
       }
     in
     {

@@ -4,17 +4,21 @@ type mode = Primary | Scavenger
 
 type status = Ready | Done | Faulted of string
 
+type regfile = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
 type t = {
   id : int;
   program : Program.t;
-  regs : int array;
+  regs : regfile;
   mutable pc : int;
   mutable status : status;
   mutable mode : mode;
-  call_stack : int Stack.t;
+  mutable call_stack : int array;
+  mutable call_sp : int;
   mutable domain : (int * int) option;
   mutable accel_done_at : int;  (* -1 = no operation outstanding *)
   mutable accel_result : int;
+  mutable uops : Uop.t option;  (* decoded micro-op cache, lazily built *)
   mutable instructions : int;
   mutable stall_cycles : int;
   mutable cond_checks : int;
@@ -23,18 +27,25 @@ type t = {
   mutable finished_at : int;
 }
 
+let make_regs () =
+  let r = Bigarray.Array1.create Bigarray.int Bigarray.c_layout Reg.count in
+  Bigarray.Array1.fill r 0;
+  r
+
 let create ~id ~mode program =
   {
     id;
     program;
-    regs = Array.make Reg.count 0;
+    regs = make_regs ();
     pc = 0;
     status = Ready;
     mode;
-    call_stack = Stack.create ();
+    call_stack = Array.make 32 0;
+    call_sp = 0;
     domain = None;
     accel_done_at = -1;
     accel_result = 0;
+    uops = None;
     instructions = 0;
     stall_cycles = 0;
     cond_checks = 0;
@@ -43,14 +54,51 @@ let create ~id ~mode program =
     finished_at = -1;
   }
 
-let set_regs t l = List.iter (fun (r, v) -> t.regs.(r) <- v) l
+let reg t r = t.regs.{r}
+
+let set_reg t r v = t.regs.{r} <- v
+
+let set_regs t l = List.iter (fun (r, v) -> t.regs.{r} <- v) l
+
+let regs_array t = Array.init Reg.count (fun i -> t.regs.{i})
+
+let regs_equal a b =
+  let eq = ref true in
+  for i = 0 to Reg.count - 1 do
+    if a.regs.{i} <> b.regs.{i} then eq := false
+  done;
+  !eq
+
+let uops t =
+  match t.uops with
+  | Some u -> u
+  | None ->
+      let u = Uop.decode t.program in
+      t.uops <- Some u;
+      u
+
+let call_depth t = t.call_sp
+
+let push_call t ret_pc =
+  if t.call_sp = Array.length t.call_stack then begin
+    let grown = Array.make (2 * t.call_sp) 0 in
+    Array.blit t.call_stack 0 grown 0 t.call_sp;
+    t.call_stack <- grown
+  end;
+  t.call_stack.(t.call_sp) <- ret_pc;
+  t.call_sp <- t.call_sp + 1
+
+(* Returns the popped pc; caller must check [call_sp > 0] first. *)
+let pop_call t =
+  t.call_sp <- t.call_sp - 1;
+  t.call_stack.(t.call_sp)
 
 let is_ready t = match t.status with Ready -> true | Done | Faulted _ -> false
 
 let reset ?regs t =
   t.pc <- 0;
   t.status <- Ready;
-  Stack.clear t.call_stack;
+  t.call_sp <- 0;
   t.accel_done_at <- -1;
   t.accel_result <- 0;
   t.instructions <- 0;

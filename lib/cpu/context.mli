@@ -11,14 +11,23 @@ type mode = Primary | Scavenger
 
 type status = Ready | Done | Faulted of string
 
+(** The register file is a flat [Bigarray] of unboxed ints: the fast
+    step loop indexes it with [regs.{r}] and the whole file can be
+    blitted without per-element boxing. Structural equality ([=]) on
+    bigarrays compares contents, so snapshots still diff naturally. *)
+type regfile = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
 type t = {
   id : int;
   program : Program.t;
-  regs : int array;
+  regs : regfile;
   mutable pc : int;
   mutable status : status;
   mutable mode : mode;
-  call_stack : int Stack.t;
+  mutable call_stack : int array;
+      (** flat return-pc stack; valid entries are [0 .. call_sp-1].
+          Grows by doubling — use {!push_call}/{!pop_call}. *)
+  mutable call_sp : int;
   mutable domain : (int * int) option;
       (** SFI protection domain [lo, hi): [Guard] instructions fault on
           addresses outside it; [None] disables checking *)
@@ -26,6 +35,9 @@ type t = {
       (** completion cycle of the outstanding accelerator operation;
           [-1] when none is pending *)
   mutable accel_result : int;
+  mutable uops : Uop.t option;
+      (** decoded micro-op cache for [program], built on first fast-path
+          dispatch (see {!uops}) *)
   (* accounting *)
   mutable instructions : int;
   mutable stall_cycles : int;
@@ -38,8 +50,31 @@ type t = {
 (** [create ~id ~mode program] starts at pc 0 with zeroed registers. *)
 val create : id:int -> mode:mode -> Program.t -> t
 
+(** Read one register. *)
+val reg : t -> Reg.t -> int
+
+(** Write one register. *)
+val set_reg : t -> Reg.t -> int -> unit
+
 (** Initialise registers, e.g. a lane's start pointer. *)
 val set_regs : t -> (Reg.t * int) list -> unit
+
+(** Snapshot the register file as a plain int array. *)
+val regs_array : t -> int array
+
+(** Register files bit-identical? *)
+val regs_equal : t -> t -> bool
+
+(** The context's decoded micro-op cache, built on first use. *)
+val uops : t -> Uop.t
+
+val call_depth : t -> int
+
+val push_call : t -> int -> unit
+
+(** Pops and returns the top return pc. Caller must check
+    [call_depth t > 0] first. *)
+val pop_call : t -> int
 
 val is_ready : t -> bool
 

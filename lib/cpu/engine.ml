@@ -7,6 +7,7 @@ type config = {
   ooo_window : int;
   load_block_threshold : int option;
   stall_shape : (pc:int -> stall:int -> int) option;
+  fast : bool;
 }
 
 let default_config =
@@ -16,6 +17,7 @@ let default_config =
     ooo_window = 0;
     load_block_threshold = None;
     stall_shape = None;
+    fast = true;
   }
 
 let shape_stall cfg ~pc stall =
@@ -42,7 +44,9 @@ let fault (ctx : Context.t) fmt =
       Stop (Fault msg))
     fmt
 
-let operand_value (ctx : Context.t) = function Instr.Reg r -> ctx.regs.(r) | Instr.Imm i -> i
+let operand_value (ctx : Context.t) = function
+  | Instr.Reg r -> ctx.regs.{r}
+  | Instr.Imm i -> i
 
 let eval_binop op a b =
   match op with
@@ -102,27 +106,27 @@ let step cfg hier mem ~clock (ctx : Context.t) =
     in
     match i with
     | Instr.Binop (op, rd, rs, o) -> (
-        match eval_binop op ctx.regs.(rs) (operand_value ctx o) with
+        match eval_binop op ctx.regs.{rs} (operand_value ctx o) with
         | None -> fault ctx "division by zero at pc %d" pc
         | Some v ->
-            ctx.regs.(rd) <- v;
+            ctx.regs.{rd} <- v;
             advance (Cost.base i);
             next ();
             retire ();
             Normal)
     | Instr.Mov (rd, o) ->
-        ctx.regs.(rd) <- operand_value ctx o;
+        ctx.regs.{rd} <- operand_value ctx o;
         advance (Cost.base i);
         next ();
         retire ();
         Normal
     | Instr.Load (rd, rs, disp) ->
-        let addr = ctx.regs.(rs) + disp in
+        let addr = ctx.regs.{rs} + disp in
         if not (Address_space.valid_addr mem addr) then
           fault ctx "load from invalid address %d at pc %d" addr pc
         else begin
           let cost, paid_stall, level, queue = demand_load addr in
-          ctx.regs.(rd) <- Address_space.load mem addr;
+          ctx.regs.{rd} <- Address_space.load mem addr;
           next ();
           match cfg.load_block_threshold with
           | Some thr when paid_stall > thr ->
@@ -145,11 +149,11 @@ let step cfg hier mem ~clock (ctx : Context.t) =
               Normal
         end
     | Instr.Store (rs, disp, rv) ->
-        let addr = ctx.regs.(rs) + disp in
+        let addr = ctx.regs.{rs} + disp in
         if not (Address_space.valid_addr mem addr) then
           fault ctx "store to invalid address %d at pc %d" addr pc
         else begin
-          Address_space.store mem addr ctx.regs.(rv);
+          Address_space.store mem addr ctx.regs.{rv};
           Hierarchy.write hier ~now:!clock addr;
           advance (Cost.base i);
           next ();
@@ -157,7 +161,7 @@ let step cfg hier mem ~clock (ctx : Context.t) =
           Normal
         end
     | Instr.Prefetch (rs, disp) ->
-        let addr = ctx.regs.(rs) + disp in
+        let addr = ctx.regs.{rs} + disp in
         (* Like hardware, prefetch of a bad address is a silent no-op. *)
         if Address_space.valid_addr mem addr then Hierarchy.prefetch hier ~now:!clock addr;
         advance (Hierarchy.config hier).prefetch_issue_cost;
@@ -165,7 +169,7 @@ let step cfg hier mem ~clock (ctx : Context.t) =
         retire ();
         Normal
     | Instr.Branch (c, rs, o, _) ->
-        let taken = eval_cond c ctx.regs.(rs) (operand_value ctx o) in
+        let taken = eval_cond c ctx.regs.{rs} (operand_value ctx o) in
         let target = Program.resolved_target program pc in
         advance (Cost.base i);
         ctx.pc <- (if taken then target else pc + 1);
@@ -180,10 +184,10 @@ let step cfg hier mem ~clock (ctx : Context.t) =
         retire ();
         Normal
     | Instr.Call _ ->
-        if Stack.length ctx.call_stack >= max_call_depth then
+        if Context.call_depth ctx >= max_call_depth then
           fault ctx "call stack overflow at pc %d" pc
         else begin
-          Stack.push (pc + 1) ctx.call_stack;
+          Context.push_call ctx (pc + 1);
           let target = Program.resolved_target program pc in
           advance (Cost.base i);
           ctx.pc <- target;
@@ -191,15 +195,16 @@ let step cfg hier mem ~clock (ctx : Context.t) =
           retire ();
           Normal
         end
-    | Instr.Ret -> (
-        match Stack.pop_opt ctx.call_stack with
-        | None -> fault ctx "ret with empty call stack at pc %d" pc
-        | Some ret_pc ->
-            advance (Cost.base i);
-            ctx.pc <- ret_pc;
-            cfg.hooks.on_branch ~ctx:id ~pc ~target:ret_pc ~taken:true ~cycle:!clock;
-            retire ();
-            Normal)
+    | Instr.Ret ->
+        if Context.call_depth ctx = 0 then fault ctx "ret with empty call stack at pc %d" pc
+        else begin
+          let ret_pc = Context.pop_call ctx in
+          advance (Cost.base i);
+          ctx.pc <- ret_pc;
+          cfg.hooks.on_branch ~ctx:id ~pc ~target:ret_pc ~taken:true ~cycle:!clock;
+          retire ();
+          Normal
+        end
     | Instr.Yield Instr.Primary ->
         ctx.yields <- ctx.yields + 1;
         next ();
@@ -224,7 +229,7 @@ let step cfg hier mem ~clock (ctx : Context.t) =
           Normal
         end
     | Instr.Yield_cond (rs, disp) ->
-        let addr = ctx.regs.(rs) + disp in
+        let addr = ctx.regs.{rs} + disp in
         ctx.cond_checks <- ctx.cond_checks + 1;
         advance cfg.cond_check_cost;
         let resident =
@@ -251,7 +256,7 @@ let step cfg hier mem ~clock (ctx : Context.t) =
     | Instr.Accel_issue (rs, disp) ->
         if ctx.accel_done_at >= 0 then fault ctx "accelerator busy at pc %d" pc
         else
-          let addr = ctx.regs.(rs) + disp in
+          let addr = ctx.regs.{rs} + disp in
           if not (Address_space.valid_addr mem addr) then
             fault ctx "accelerator operand at invalid address %d (pc %d)" addr pc
           else begin
@@ -268,7 +273,7 @@ let step cfg hier mem ~clock (ctx : Context.t) =
           let remaining = shape_stall cfg ~pc (max 0 (ctx.accel_done_at - !clock)) in
           let hidden = min cfg.ooo_window remaining in
           let paid = remaining - hidden in
-          ctx.regs.(rd) <- ctx.accel_result;
+          ctx.regs.{rd} <- ctx.accel_result;
           ctx.accel_done_at <- -1;
           next ();
           match cfg.load_block_threshold with
@@ -285,7 +290,7 @@ let step cfg hier mem ~clock (ctx : Context.t) =
               Normal
         end
     | Instr.Guard (rs, disp) ->
-        let addr = ctx.regs.(rs) + disp in
+        let addr = ctx.regs.{rs} + disp in
         advance (Cost.base i);
         let ok =
           match ctx.domain with Some (lo, hi) -> addr >= lo && addr < hi | None -> true
@@ -313,7 +318,7 @@ let step cfg hier mem ~clock (ctx : Context.t) =
         Stop Halted
   end
 
-let run cfg hier mem ~clock ?(deadline = max_int) (ctx : Context.t) =
+let run_reference cfg hier mem ~clock ~deadline (ctx : Context.t) =
   let rec loop () =
     match ctx.status with
     | Context.Done -> Halted
@@ -334,6 +339,273 @@ let run cfg hier mem ~clock ?(deadline = max_int) (ctx : Context.t) =
         end
   in
   loop ()
+
+(* The fast path: one monolithic loop over the decoded micro-op arrays,
+   no per-cycle heap allocation (no closures, no tuples, no hook
+   records). Engaged by [run] only when hooks are off ([Events.nop] by
+   physical equality) and no stall shape is armed, so nothing
+   observable differs from [run_reference]: the cycle accounting below
+   mirrors the reference instruction-for-instruction, and
+   [test_engine_diff] holds the two bit-identical.
+
+   [load_block_threshold] needs no special casing here: at run level a
+   [Blocked_until] is waited out immediately, which lands the same
+   clock and stall_cycles as the unblocked branch (issue cost + wait =
+   full cost, paid stall accounted either way) — the split only
+   matters to an SMT scheduler driving [step] itself. *)
+let run_fast cfg hier mem ~clock ~deadline (ctx : Context.t) =
+  let u = Context.uops ctx in
+  let ops = u.Uop.op
+  and ra = u.Uop.a
+  and rb = u.Uop.b
+  and rc = u.Uop.c
+  and ucost = u.Uop.cost
+  and utarget = u.Uop.target in
+  let plen = u.Uop.len in
+  let regs = ctx.regs in
+  let mcfg = Hierarchy.config hier in
+  let l1_latency = mcfg.Memconfig.l1.latency in
+  let pf_cost = mcfg.Memconfig.prefetch_issue_cost in
+  let accel_latency = mcfg.Memconfig.accel_latency in
+  let cond_cost = cfg.cond_check_cost in
+  let ooo = cfg.ooo_window in
+  (* With the icache disabled (the default) [Hierarchy.fetch] always
+     returns 0; hoisting the test saves a call per instruction. *)
+  let fetch_on = match mcfg.Memconfig.icache with Some _ -> true | None -> false in
+  (* [now] and [pc] ride in registers through the tail-recursive loop
+     instead of bouncing off the [clock] ref and [ctx.pc] field on
+     every instruction; every exit point below syncs them back. *)
+  let stop_fault now pc msg =
+    clock := now;
+    ctx.pc <- pc;
+    ctx.status <- Context.Faulted msg;
+    Fault msg
+  in
+  let rec exec now pc =
+    if now >= deadline then begin
+      clock := now;
+      ctx.pc <- pc;
+      Out_of_budget
+    end
+    else if pc < 0 || pc >= plen then stop_fault now pc (Printf.sprintf "pc %d out of range" pc)
+    else begin
+      if ctx.started_at < 0 then ctx.started_at <- now;
+      ctx.instructions <- ctx.instructions + 1;
+      let now =
+        if fetch_on then begin
+          let fstall = Hierarchy.fetch hier ~now pc in
+          if fstall > 0 then ctx.stall_cycles <- ctx.stall_cycles + fstall;
+          now + fstall
+        end
+        else now
+      in
+      let op = Array.unsafe_get ops pc in
+      if op < Uop.op_mov_r then begin
+        (* binop, register or immediate form *)
+        let lhs = Bigarray.Array1.unsafe_get regs (Array.unsafe_get rb pc) in
+        let c = Array.unsafe_get rc pc in
+        let rhs = if op >= Uop.op_binop_imm then c else Bigarray.Array1.unsafe_get regs c in
+        let bi = if op >= Uop.op_binop_imm then op - Uop.op_binop_imm else op in
+        if bi >= 3 && bi <= 4 && rhs = 0 then
+          stop_fault now pc (Printf.sprintf "division by zero at pc %d" pc)
+        else begin
+          let v =
+            match bi with
+            | 0 -> lhs + rhs
+            | 1 -> lhs - rhs
+            | 2 -> lhs * rhs
+            | 3 -> lhs / rhs
+            | 4 -> lhs mod rhs
+            | 5 -> lhs land rhs
+            | 6 -> lhs lor rhs
+            | 7 -> lhs lxor rhs
+            | 8 -> lhs lsl (rhs land 63)
+            | _ -> lhs asr (rhs land 63)
+          in
+          Bigarray.Array1.unsafe_set regs (Array.unsafe_get ra pc) v;
+          exec (now + Array.unsafe_get ucost pc) (pc + 1)
+        end
+      end
+      else if op >= Uop.op_branch_reg && op < Uop.op_jump then begin
+        let lhs = Bigarray.Array1.unsafe_get regs (Array.unsafe_get ra pc) in
+        let c = Array.unsafe_get rc pc in
+        let rhs = if op >= Uop.op_branch_imm then c else Bigarray.Array1.unsafe_get regs c in
+        let ci =
+          if op >= Uop.op_branch_imm then op - Uop.op_branch_imm else op - Uop.op_branch_reg
+        in
+        let taken =
+          match ci with
+          | 0 -> lhs = rhs
+          | 1 -> lhs <> rhs
+          | 2 -> lhs < rhs
+          | 3 -> lhs <= rhs
+          | 4 -> lhs > rhs
+          | _ -> lhs >= rhs
+        in
+        exec
+          (now + Array.unsafe_get ucost pc)
+          (if taken then Array.unsafe_get utarget pc else pc + 1)
+      end
+      else if op = Uop.op_mov_r then begin
+        Bigarray.Array1.unsafe_set regs (Array.unsafe_get ra pc)
+          (Bigarray.Array1.unsafe_get regs (Array.unsafe_get rb pc));
+        exec (now + Array.unsafe_get ucost pc) (pc + 1)
+      end
+      else if op = Uop.op_mov_i then begin
+        Bigarray.Array1.unsafe_set regs (Array.unsafe_get ra pc) (Array.unsafe_get rc pc);
+        exec (now + Array.unsafe_get ucost pc) (pc + 1)
+      end
+      else if op = Uop.op_load then begin
+        let addr = Bigarray.Array1.unsafe_get regs (Array.unsafe_get rb pc) + Array.unsafe_get rc pc in
+        if not (Address_space.valid_addr mem addr) then
+          stop_fault now pc (Printf.sprintf "load from invalid address %d at pc %d" addr pc)
+        else begin
+          let latency = Hierarchy.access_latency hier ~now addr in
+          let stall = latency - l1_latency in
+          let stall = if stall > 0 then stall else 0 in
+          let hidden = if ooo < stall then ooo else stall in
+          let paid = stall - hidden in
+          Bigarray.Array1.unsafe_set regs (Array.unsafe_get ra pc)
+            (Address_space.unsafe_load mem addr);
+          ctx.stall_cycles <- ctx.stall_cycles + paid;
+          exec (now + Array.unsafe_get ucost pc + latency - hidden) (pc + 1)
+        end
+      end
+      else if op = Uop.op_store then begin
+        let addr = Bigarray.Array1.unsafe_get regs (Array.unsafe_get rb pc) + Array.unsafe_get rc pc in
+        if not (Address_space.valid_addr mem addr) then
+          stop_fault now pc (Printf.sprintf "store to invalid address %d at pc %d" addr pc)
+        else begin
+          Address_space.unsafe_store mem addr
+            (Bigarray.Array1.unsafe_get regs (Array.unsafe_get ra pc));
+          Hierarchy.write hier ~now addr;
+          exec (now + Array.unsafe_get ucost pc) (pc + 1)
+        end
+      end
+      else if op = Uop.op_prefetch then begin
+        let addr = Bigarray.Array1.unsafe_get regs (Array.unsafe_get rb pc) + Array.unsafe_get rc pc in
+        if Address_space.valid_addr mem addr then Hierarchy.prefetch hier ~now addr;
+        exec (now + pf_cost) (pc + 1)
+      end
+      else if op = Uop.op_jump then
+        exec (now + Array.unsafe_get ucost pc) (Array.unsafe_get utarget pc)
+      else if op = Uop.op_call then begin
+        if Context.call_depth ctx >= max_call_depth then
+          stop_fault now pc (Printf.sprintf "call stack overflow at pc %d" pc)
+        else begin
+          Context.push_call ctx (pc + 1);
+          exec (now + Array.unsafe_get ucost pc) (Array.unsafe_get utarget pc)
+        end
+      end
+      else if op = Uop.op_ret then begin
+        if Context.call_depth ctx = 0 then
+          stop_fault now pc (Printf.sprintf "ret with empty call stack at pc %d" pc)
+        else exec (now + Array.unsafe_get ucost pc) (Context.pop_call ctx)
+      end
+      else if op = Uop.op_yield_primary then begin
+        ctx.yields <- ctx.yields + 1;
+        clock := now;
+        ctx.pc <- pc + 1;
+        Yielded (Instr.Primary, pc)
+      end
+      else if op = Uop.op_yield_scavenger then begin
+        if ctx.mode = Context.Scavenger then begin
+          ctx.yields <- ctx.yields + 1;
+          clock := now;
+          ctx.pc <- pc + 1;
+          Yielded (Instr.Scavenger, pc)
+        end
+        else begin
+          ctx.cond_checks <- ctx.cond_checks + 1;
+          exec (now + cond_cost) (pc + 1)
+        end
+      end
+      else if op = Uop.op_yield_cond then begin
+        let addr = Bigarray.Array1.unsafe_get regs (Array.unsafe_get rb pc) + Array.unsafe_get rc pc in
+        ctx.cond_checks <- ctx.cond_checks + 1;
+        let now = now + cond_cost in
+        let resident =
+          (not (Address_space.valid_addr mem addr))
+          ||
+          let rcode = Hierarchy.resident_code hier ~now addr in
+          rcode >= 0 && rcode <= 1
+        in
+        if resident then exec now (pc + 1)
+        else begin
+          Hierarchy.prefetch hier ~now addr;
+          ctx.yields <- ctx.yields + 1;
+          clock := now + pf_cost;
+          ctx.pc <- pc + 1;
+          Yielded (Instr.Primary, pc)
+        end
+      end
+      else if op = Uop.op_guard then begin
+        let addr = Bigarray.Array1.unsafe_get regs (Array.unsafe_get rb pc) + Array.unsafe_get rc pc in
+        let now = now + Array.unsafe_get ucost pc in
+        let ok =
+          match ctx.domain with Some (lo, hi) -> addr >= lo && addr < hi | None -> true
+        in
+        if ok then exec now (pc + 1)
+        else
+          stop_fault now pc
+            (Printf.sprintf "sfi violation: address %d outside domain at pc %d" addr pc)
+      end
+      else if op = Uop.op_accel_issue then begin
+        if ctx.accel_done_at >= 0 then
+          stop_fault now pc (Printf.sprintf "accelerator busy at pc %d" pc)
+        else
+          let addr = Bigarray.Array1.unsafe_get regs (Array.unsafe_get rb pc) + Array.unsafe_get rc pc in
+          if not (Address_space.valid_addr mem addr) then
+            stop_fault now pc
+              (Printf.sprintf "accelerator operand at invalid address %d (pc %d)" addr pc)
+          else begin
+            let now = now + Array.unsafe_get ucost pc in
+            ctx.accel_result <- accel_transform (Address_space.unsafe_load mem addr);
+            ctx.accel_done_at <- now + accel_latency;
+            exec now (pc + 1)
+          end
+      end
+      else if op = Uop.op_accel_wait then begin
+        if ctx.accel_done_at < 0 then
+          stop_fault now pc (Printf.sprintf "accelerator wait with no operation at pc %d" pc)
+        else begin
+          let remaining = ctx.accel_done_at - now in
+          let remaining = if remaining > 0 then remaining else 0 in
+          let hidden = if ooo < remaining then ooo else remaining in
+          let paid = remaining - hidden in
+          Bigarray.Array1.unsafe_set regs (Array.unsafe_get ra pc) ctx.accel_result;
+          ctx.accel_done_at <- -1;
+          ctx.stall_cycles <- ctx.stall_cycles + paid;
+          exec (now + Array.unsafe_get ucost pc + paid) (pc + 1)
+        end
+      end
+      else if op = Uop.op_opmark then exec now (pc + 1)
+      else if op = Uop.op_nop then exec (now + Array.unsafe_get ucost pc) (pc + 1)
+      else begin
+        (* halt *)
+        ctx.status <- Context.Done;
+        ctx.finished_at <- now;
+        clock := now;
+        ctx.pc <- pc;
+        Halted
+      end
+    end
+  in
+  match ctx.status with
+  | Context.Done -> Halted
+  | Context.Faulted msg -> Fault msg
+  | Context.Ready -> exec !clock ctx.pc
+
+let fast_engaged cfg =
+  cfg.fast && cfg.hooks == Events.nop
+  && (match cfg.stall_shape with None -> true | Some _ -> false)
+
+let run cfg hier mem ~clock ?(deadline = max_int) (ctx : Context.t) =
+  if fast_engaged cfg then run_fast cfg hier mem ~clock ~deadline ctx
+  else run_reference cfg hier mem ~clock ~deadline ctx
+
+let run_reference cfg hier mem ~clock ?(deadline = max_int) (ctx : Context.t) =
+  run_reference cfg hier mem ~clock ~deadline ctx
 
 let pp_stop fmt = function
   | Halted -> Format.pp_print_string fmt "halted"

@@ -29,6 +29,15 @@ type config = {
           as injected ground truth. Cache state, residency checks and
           control flow are unaffected — only the cycles charged move.
           Negative returns are clamped to 0. *)
+  fast : bool;
+      (** default [true]. Allow {!run} to take the decoded-µop fast
+          path — a zero-allocation-per-cycle loop over {!Uop} arrays —
+          whenever nothing observable is configured (hooks are
+          {!Events.nop} by physical equality and no [stall_shape] is
+          armed). Architectural results are bit-identical to the
+          reference interpreter ([test_engine_diff] is the gate); set
+          [false] to force the reference path, e.g. as the baseline arm
+          of the C25 speed bench. *)
 }
 
 val default_config : config
@@ -55,7 +64,9 @@ val step :
 
 (** Run [ctx] until it yields, halts, faults, or [clock] reaches
     [deadline]. With [load_block_threshold] set, blocked periods are
-    simply waited out (single-context fallback). *)
+    simply waited out (single-context fallback). Dispatches to the
+    decoded-µop fast loop when {!fast_engaged} holds, else to
+    {!run_reference}. *)
 val run :
   config ->
   Hierarchy.t ->
@@ -64,5 +75,19 @@ val run :
   ?deadline:int ->
   Context.t ->
   stop
+
+(** The original variant-matching interpreter, kept reachable as the
+    differential-test reference arm regardless of [config.fast]. *)
+val run_reference :
+  config ->
+  Hierarchy.t ->
+  Address_space.t ->
+  clock:int ref ->
+  ?deadline:int ->
+  Context.t ->
+  stop
+
+(** Would {!run} take the fast path under this config? *)
+val fast_engaged : config -> bool
 
 val pp_stop : Format.formatter -> stop -> unit

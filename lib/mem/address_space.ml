@@ -38,3 +38,9 @@ let store t addr v =
   t.mem.(addr lsr 3) <- v
 
 let valid_addr t addr = addr land (word_bytes - 1) = 0 && addr >= 0 && addr < capacity_bytes t
+
+(* Unchecked accessors for the engine fast path: the caller must have
+   established [valid_addr t addr] first. *)
+let unsafe_load t addr = Array.unsafe_get t.mem (addr lsr 3)
+
+let unsafe_store t addr v = Array.unsafe_set t.mem (addr lsr 3) v

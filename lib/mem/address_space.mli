@@ -31,3 +31,10 @@ val store : t -> int -> int -> unit
 
 (** Whether [addr] is word-aligned and within the allocated capacity. *)
 val valid_addr : t -> int -> bool
+
+(** Unchecked load/store for the engine fast path. The caller must
+    have established {!valid_addr} for the address first; behaviour is
+    undefined otherwise. *)
+val unsafe_load : t -> int -> int
+
+val unsafe_store : t -> int -> int -> unit

@@ -22,6 +22,12 @@ val lines : t -> int
     refreshes LRU state. *)
 val lookup : t -> now:int -> int -> lookup
 
+(** Allocation-free [lookup] for the fast path: [-1] = miss, [0] = hit,
+    [ready_at > 0] = in-flight fill completing at that cycle (in-flight
+    implies [ready_at > now >= 0], so the codes cannot collide). Updates
+    LRU state and hit/miss counters identically to [lookup]. *)
+val lookup_code : t -> now:int -> int -> int
+
 (** [insert t ~now ~ready_at addr] fills the line (evicting LRU). *)
 val insert : t -> now:int -> ready_at:int -> int -> unit
 
@@ -34,6 +40,12 @@ val resident : t -> now:int -> int -> bool
     [true] if a line was actually removed. Does not count as a hit or a
     miss. *)
 val invalidate : t -> int -> bool
+
+(** [copy_state ~src ~dst] blits tags/ready/LRU state (not statistics)
+    from [src] into [dst]. The barrier-parallel SMP mode uses this to
+    re-sync per-core shared-L3 replicas at window boundaries.
+    @raise Invalid_argument on geometry mismatch. *)
+val copy_state : src:t -> dst:t -> unit
 
 val hits : t -> int
 

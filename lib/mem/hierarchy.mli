@@ -11,6 +11,12 @@ type level = L1 | L2 | L3 | Dram
 
 val level_name : level -> string
 
+(** Dense level codes used by the allocation-free fast path:
+    [0 = L1], [1 = L2], [2 = L3], [3 = Dram]. *)
+val level_code : level -> int
+
+val level_of_code : int -> level
+
 type result = {
   level : level;  (** level that served the access *)
   latency : int;  (** total load-to-use cycles *)
@@ -39,6 +45,17 @@ val create : Memconfig.t -> t
     registered with the port so remote writes invalidate its private
     lines. Per-core [Mem_stats] stay private. *)
 val create_core : Memconfig.t -> shared:Shared_l3.t -> t
+
+(** Like {!create_core}, but the L3 level aliases this core's private
+    {e replica} of the shared cache behind a {!Shared_l3.wport}: L3
+    lookups/fills/stores are logged for barrier replay and admission
+    draws on the core's static budget share. Used by the
+    barrier-parallel SMP mode so OCaml [Domain]s never share mutable
+    cache state inside a window. *)
+val create_core_windowed : Memconfig.t -> shared:Shared_l3.t -> t
+
+(** The windowed port of a {!create_core_windowed} hierarchy. *)
+val wport : t -> Shared_l3.wport option
 
 val config : t -> Memconfig.t
 
@@ -75,6 +92,21 @@ val spike_active : t -> now:int -> bool
 
 val access : t -> now:int -> int -> result
 
+(** Allocation-free [access] for the fast step loop: performs the same
+    demand load (identical fills, admission, statistics — [access] is
+    implemented on top of it) but returns only the total latency,
+    leaving the serving level and queueing delay readable via
+    {!last_level} / {!last_queued} until the next access. *)
+val access_latency : t -> now:int -> int -> int
+
+(** Level code ({!level_code}) of the last {!access_latency} /
+    [access]. *)
+val last_level : t -> int
+
+(** Shared-L3 queueing delay of the last {!access_latency} /
+    [access]. *)
+val last_queued : t -> int
+
 val prefetch : t -> now:int -> int -> unit
 
 (** [write t ~now addr] records a store. On a shared-L3 core this
@@ -88,6 +120,10 @@ val write : t -> now:int -> int -> unit
     the line is present *and ready* somewhere on chip. Does not perturb
     LRU or statistics. *)
 val resident : t -> now:int -> int -> level option
+
+(** Allocation-free {!resident}: deepest ready level's code, or [-1]
+    when the line is nowhere on chip. *)
+val resident_code : t -> now:int -> int -> int
 
 val stats : t -> Mem_stats.t
 

@@ -138,13 +138,26 @@ let emit t event =
 let charge t ~from_ctx ~at_pc cost =
   t.stats.switches <- t.stats.switches + 1;
   t.stats.switch_cycles <- t.stats.switch_cycles + cost;
-  emit t
-    (Stallhide_obs.Event.Context_switch
-       { from_ctx; to_ctx = -1; at_pc; cost; cycle = !(t.clock) });
+  (* Build the event under the match: [emit t (Context_switch {...})]
+     would allocate the record on every switch even with no observer
+     attached, and switches dominate the hot scheduling path. *)
+  (match t.obs with
+  | Some s ->
+      Stallhide_obs.Stream.record s
+        (Stallhide_obs.Event.Context_switch
+           { from_ctx; to_ctx = -1; at_pc; cost; cycle = !(t.clock) })
+  | None -> ());
   t.clock := !(t.clock) + cost
 
-(* Pull one cold scavenger from another core; the cycles are spent
-   inside the stall being hidden, so they land in switch accounting. *)
+(* Install a scavenger pulled from another core, paying the steal
+   toll; the cycles are spent inside the stall being hidden, so they
+   land in switch accounting. *)
+let accept_stolen t s =
+  t.stats.steals <- t.stats.steals + 1;
+  t.stats.switch_cycles <- t.stats.switch_cycles + t.cfg.steal_cost;
+  t.clock := !(t.clock) + t.cfg.steal_cost;
+  add_scavenger t s
+
 let try_steal t =
   match t.steal_source with
   | None -> false
@@ -152,10 +165,7 @@ let try_steal t =
       match f () with
       | None -> false
       | Some s ->
-          t.stats.steals <- t.stats.steals + 1;
-          t.stats.switch_cycles <- t.stats.switch_cycles + t.cfg.steal_cost;
-          t.clock := !(t.clock) + t.cfg.steal_cost;
-          add_scavenger t s;
+          accept_stolen t s;
           true)
 
 (* First ready scavenger at or after the cursor, without advancing it:

@@ -89,6 +89,13 @@ val donate : t -> Context.t option
     picks a victim core and returns [donate victim]. *)
 val set_steal_source : t -> (unit -> Context.t option) -> unit
 
+(** [accept_stolen t ctx] installs a scavenger already pulled from a
+    victim core (the barrier-mode steal path, where migration happens
+    in the sequential phase instead of through a [steal_source]
+    closure): counts the steal, charges [steal_cost] to the clock and
+    switch accounting, and adds [ctx] to the pool. *)
+val accept_stolen : t -> Context.t -> unit
+
 (** [set_on_complete t f] is called as [f ctx ~now] when a request
     halts (not for scavengers). *)
 val set_on_complete : t -> (Context.t -> now:int -> unit) -> unit

@@ -35,7 +35,13 @@ let traced ?tracer ?obs engine hier mem ~clock ~deadline (ctx : Context.t) =
     (match tracer with
     | Some t -> Tracer.record t ~ctx:ctx.Context.id ~start:before ~stop:!clock
     | None -> ());
-    emit obs (Stallhide_obs.Event.Dispatch { ctx = ctx.Context.id; start = before; stop = !clock })
+    (* Allocate the Dispatch record only when someone is listening:
+       [traced] runs once per slice on the hot path. *)
+    match obs with
+    | Some s ->
+        Stallhide_obs.Stream.record s
+          (Stallhide_obs.Event.Dispatch { ctx = ctx.Context.id; start = before; stop = !clock })
+    | None -> ()
   end;
   r
 

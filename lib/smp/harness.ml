@@ -44,6 +44,9 @@ type params = {
   max_cycles : int;
   memcfg : Memconfig.t;
   prepare_core : int -> Hierarchy.t -> unit;
+  sync : Machine.sync;
+  trace : bool;
+  engine_fast : bool;  (* Engine.config.fast on every core *)
 }
 
 let default_params =
@@ -74,6 +77,9 @@ let default_params =
     max_cycles = 200_000_000;
     memcfg = Memconfig.default;
     prepare_core = (fun _ _ -> ());
+    sync = Machine.Interleaved;
+    trace = true;
+    engine_fast = true;
   }
 
 type run = {
@@ -278,7 +284,7 @@ let run params =
       l3_budget = p.l3_budget;
       core =
         {
-          Core_sched.engine = Engine.default_config;
+          Core_sched.engine = { Engine.default_config with Engine.fast = p.engine_fast };
           switch = Switch_cost.coroutine;
           steal_budget = p.steal_budget;
           steal_cost = p.steal_cost;
@@ -286,6 +292,8 @@ let run params =
       steal = p.steal;
       max_cycles = p.max_cycles;
       prepare_core = p.prepare_core;
+      sync = p.sync;
+      trace = p.trace;
     }
   in
   let result = Machine.run ~config ~policy:p.policy ~mem:image ~requests ~scavengers () in

@@ -66,6 +66,16 @@ type params = {
           and latencies through this *)
   prepare_core : int -> Stallhide_mem.Hierarchy.t -> unit;
       (** forwarded to {!Machine.config.prepare_core} (default no-op) *)
+  sync : Machine.sync;
+      (** forwarded to {!Machine.config.sync} (default [Interleaved]) *)
+  trace : bool;
+      (** forwarded to {!Machine.config.trace} (default [true]);
+          [false] drops per-instruction event streams so the decoded-µop
+          fast path engages *)
+  engine_fast : bool;
+      (** {!Stallhide_cpu.Engine.config.fast} on every core (default
+          [true]); [false] pins the reference interpreter — the
+          baseline arm of the C25 speed bench *)
 }
 
 val default_params : params

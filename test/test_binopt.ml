@@ -305,7 +305,7 @@ let test_primary_pass_preserves_semantics () =
     let clock = ref 0 in
     let rec go () =
       match Engine.run Engine.default_config hier mem ~clock ctx with
-      | Engine.Halted -> ctx.Context.regs.(1)
+      | Engine.Halted -> ctx.Context.regs.{1}
       | Engine.Yielded _ -> go ()
       | s -> Alcotest.fail (Format.asprintf "stop %a" Engine.pp_stop s)
     in

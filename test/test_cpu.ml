@@ -41,7 +41,7 @@ loop:
   let stop, _ = run env in
   check_stop "halts" "halted" stop;
   let _, _, _, ctx = env in
-  Alcotest.(check int) "sum 1..10" 55 ctx.Context.regs.(2)
+  Alcotest.(check int) "sum 1..10" 55 ctx.Context.regs.{2}
 
 let test_ops_coverage () =
   let env =
@@ -62,21 +62,21 @@ let test_ops_coverage () =
   let stop, _ = run env in
   check_stop "halts" "halted" stop;
   let _, _, _, ctx = env in
-  Alcotest.(check int) "mul" 42 ctx.Context.regs.(2);
-  Alcotest.(check int) "div" 8 ctx.Context.regs.(3);
-  Alcotest.(check int) "rem" 2 ctx.Context.regs.(4);
-  Alcotest.(check int) "and" 10 ctx.Context.regs.(5);
-  Alcotest.(check int) "or" 26 ctx.Context.regs.(6);
-  Alcotest.(check int) "xor" 0 ctx.Context.regs.(7);
-  Alcotest.(check int) "shl" 28 ctx.Context.regs.(8);
-  Alcotest.(check int) "shr" 14 ctx.Context.regs.(9)
+  Alcotest.(check int) "mul" 42 ctx.Context.regs.{2};
+  Alcotest.(check int) "div" 8 ctx.Context.regs.{3};
+  Alcotest.(check int) "rem" 2 ctx.Context.regs.{4};
+  Alcotest.(check int) "and" 10 ctx.Context.regs.{5};
+  Alcotest.(check int) "or" 26 ctx.Context.regs.{6};
+  Alcotest.(check int) "xor" 0 ctx.Context.regs.{7};
+  Alcotest.(check int) "shl" 28 ctx.Context.regs.{8};
+  Alcotest.(check int) "shr" 14 ctx.Context.regs.{9}
 
 let test_memory_roundtrip () =
   let env = setup "mov r1, 128\nmov r2, 77\nstore [r1+8], r2\nload r3, [r1+8]\nhalt" in
   let stop, _ = run env in
   check_stop "halts" "halted" stop;
   let _, _, _, ctx = env in
-  Alcotest.(check int) "store/load" 77 ctx.Context.regs.(3)
+  Alcotest.(check int) "store/load" 77 ctx.Context.regs.{3}
 
 let test_call_ret () =
   let env =
@@ -94,7 +94,7 @@ double:
   let stop, _ = run env in
   check_stop "halts" "halted" stop;
   let _, _, _, ctx = env in
-  Alcotest.(check int) "double twice" 20 ctx.Context.regs.(1)
+  Alcotest.(check int) "double twice" 20 ctx.Context.regs.{1}
 
 (* --- faults --- *)
 
@@ -280,7 +280,7 @@ let test_accel_basic () =
   let stop, cycles = run env in
   check_stop "halts" "halted" stop;
   let _, _, _, ctx = env in
-  Alcotest.(check int) "result transformed" (Engine.accel_transform 77) ctx.Context.regs.(5);
+  Alcotest.(check int) "result transformed" (Engine.accel_transform 77) ctx.Context.regs.{5};
   (* mov+mov+store+issue = 4 cycles; the op runs [accel_lat] from issue
      completion; the immediate wait pays 1 + the full latency *)
   Alcotest.(check int) "wait pays remaining latency" (4 + 1 + accel_lat) cycles;
@@ -551,13 +551,110 @@ let qcheck_engine_vs_reference =
       | Engine.Halted -> ()
       | s -> QCheck.Test.fail_reportf "engine stop: %a" Engine.pp_stop s);
       let expect = reference_eval instrs ~base shadow in
-      let regs_ok = Array.for_all2 ( = ) expect ctx.Context.regs in
+      let regs_ok = expect = Context.regs_array ctx in
       let mem_ok =
         List.for_all
           (fun k -> shadow.(k) = Address_space.load mem (base + (k * 8)))
           (List.init 64 Fun.id)
       in
       regs_ok && mem_ok)
+
+(* --- fast/reference parity pins --- *)
+
+(* Each test below pins an instruction variant where the decoded-µop
+   fast loop and the reference interpreter could plausibly diverge:
+   cost ordering (cond-check before residency), operand masking
+   (shift counts), fault text, and accelerator/OoO interactions. Both
+   arms run the same source from a fresh context and everything
+   architecturally visible must match bit-for-bit, including the full
+   yield/resume trace. Any future fast/reference divergence found in
+   the differential suite gets its minimal reproducer added here. *)
+
+let run_trace engine src =
+  let _, mem, hier, ctx = setup src in
+  let clock = ref 0 in
+  let trace = ref [] in
+  let rec go budget =
+    let stop = Engine.run engine hier mem ~clock ctx in
+    trace := (Format.asprintf "%a" Engine.pp_stop stop, !clock) :: !trace;
+    match stop with
+    | Engine.Yielded _ when budget > 0 ->
+        (* wait out any in-flight fill, then resume *)
+        clock := !clock + dram;
+        go (budget - 1)
+    | _ -> ()
+  in
+  go 8;
+  ( List.rev !trace,
+    Context.regs_array ctx,
+    ctx.Context.instructions,
+    ctx.Context.stall_cycles,
+    Hierarchy.stats hier )
+
+let check_parity ?(engine = Engine.default_config) label src =
+  let ft, fr, fi, fs, fm = run_trace { engine with Engine.fast = true } src in
+  let rt, rr, ri, rs, rm = run_trace { engine with Engine.fast = false } src in
+  Alcotest.(check (list (pair string int))) (label ^ ": stop/clock trace") rt ft;
+  Alcotest.(check (array int)) (label ^ ": regs") rr fr;
+  Alcotest.(check int) (label ^ ": instructions") ri fi;
+  Alcotest.(check int) (label ^ ": stall cycles") rs fs;
+  Alcotest.(check int) (label ^ ": demand accesses") rm.Mem_stats.demand_accesses
+    fm.Mem_stats.demand_accesses;
+  Alcotest.(check int) (label ^ ": prefetches") rm.Mem_stats.prefetches fm.Mem_stats.prefetches;
+  Alcotest.(check int) (label ^ ": dram accesses") rm.Mem_stats.dram_accesses
+    fm.Mem_stats.dram_accesses
+
+let test_parity_div_rem_zero () =
+  check_parity "div by zero reg" "mov r1, 9\nmov r2, 0\ndiv r3, r1, r2\nhalt";
+  check_parity "rem by zero reg" "mov r1, 9\nmov r2, 0\nrem r3, r1, r2\nhalt";
+  check_parity "div by zero imm" "mov r1, 9\ndiv r3, r1, 0\nhalt";
+  check_parity "div of negative" "mov r1, 0\nsub r1, r1, 7\ndiv r2, r1, 2\nhalt"
+
+let test_parity_shift_mask () =
+  check_parity "shl count 64 wraps to 0" "mov r1, 3\nmov r2, 64\nshl r3, r1, r2\nhalt";
+  check_parity "shr count 65 wraps to 1" "mov r1, 1024\nmov r2, 65\nshr r3, r1, r2\nhalt";
+  check_parity "shl imm count 70" "mov r1, 5\nshl r2, r1, 70\nhalt";
+  check_parity "shr of negative value" "mov r1, 0\nsub r1, r1, 8\nshr r2, r1, 1\nhalt"
+
+let test_parity_cyield_cost_order () =
+  (* cond_check_cost is charged before the residency probe; a cold
+     line then prefetches and yields, and the resumed load is warm. *)
+  check_parity "cyield cold then warm"
+    "mov r1, 768\ncyield [r1]\nload r2, [r1]\ncyield [r1]\nhalt";
+  check_parity "cyield bad addr falls through" "mov r1, 99999999\ncyield [r1]\nhalt";
+  check_parity "syield off in primary mode" "syield\nhalt";
+  check_parity "explicit primary yield" "mov r1, 1\nyield\nadd r1, r1, 1\nhalt"
+
+let test_parity_accel_ooo () =
+  let engine = { Engine.default_config with Engine.ooo_window = 48 } in
+  check_parity ~engine "accel issue/wait under ooo"
+    "mov r1, 896\nmov r2, 41\nstore [r1], r2\naissue [r1]\nadd r3, r3, 1\nawait r4\nhalt";
+  check_parity ~engine "cold load under ooo" "mov r1, 640\nload r2, [r1]\nhalt";
+  check_parity "accel issue/wait in-order"
+    "mov r1, 896\nmov r2, 41\nstore [r1], r2\naissue [r1]\nawait r4\nhalt"
+
+let test_parity_call_depth_overflow () = check_parity "call stack overflow" "boom:\n  call boom"
+
+let test_parity_prefetch_opmark () =
+  check_parity "prefetch bad addr no-op" "mov r1, 99999999\nprefetch [r1]\nhalt";
+  check_parity "prefetch then load" "mov r1, 320\nprefetch [r1]\nload r2, [r1]\nhalt";
+  check_parity "opmark and nop are free" "opmark\nnop\nopmark\nhalt"
+
+let test_parity_branches () =
+  check_parity "branch reg and imm conditions"
+    {|
+  mov r1, 3
+loop:
+  sub r1, r1, 1
+  br ne r1, 0, loop
+  mov r2, 7
+  br eq r2, 7, done
+  mov r3, 1
+done:
+  br lt r2, 7, loop
+  halt
+|};
+  check_parity "jump and fallthrough" "jmp skip\nmov r1, 1\nskip:\nmov r2, 2\nhalt"
 
 let () =
   Alcotest.run "cpu"
@@ -615,4 +712,14 @@ let () =
           Alcotest.test_case "all complete" `Quick test_smt_all_complete;
         ] );
       ("differential", [ QCheck_alcotest.to_alcotest qcheck_engine_vs_reference ]);
+      ( "fast-parity",
+        [
+          Alcotest.test_case "div/rem by zero" `Quick test_parity_div_rem_zero;
+          Alcotest.test_case "shift-count masking" `Quick test_parity_shift_mask;
+          Alcotest.test_case "cyield cost ordering" `Quick test_parity_cyield_cost_order;
+          Alcotest.test_case "accel under ooo" `Quick test_parity_accel_ooo;
+          Alcotest.test_case "call depth overflow" `Quick test_parity_call_depth_overflow;
+          Alcotest.test_case "prefetch/opmark" `Quick test_parity_prefetch_opmark;
+          Alcotest.test_case "branches and jumps" `Quick test_parity_branches;
+        ] );
     ]

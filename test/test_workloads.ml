@@ -39,7 +39,7 @@ let test_pointer_chase_correct () =
       for _ = 1 to hops do
         p := Address_space.load w.Workload.image !p
       done;
-      Alcotest.(check int) (Printf.sprintf "lane %d final pointer" i) !p ctx.Context.regs.(1))
+      Alcotest.(check int) (Printf.sprintf "lane %d final pointer" i) !p ctx.Context.regs.{1})
     ctxs
 
 let test_pointer_chase_misses () =
@@ -85,7 +85,7 @@ let test_hash_probe_correct () =
         let key = Address_space.load w.Workload.image (base + (k * 8)) in
         expected := !expected + (key * 7)
       done;
-      Alcotest.(check int) (Printf.sprintf "lane %d value sum" i) !expected ctx.Context.regs.(15))
+      Alcotest.(check int) (Printf.sprintf "lane %d value sum" i) !expected ctx.Context.regs.{15})
     ctxs
 
 let test_hash_probe_compute_term () =
@@ -101,7 +101,7 @@ let test_hash_probe_compute_term () =
   for k = 0 to ops - 1 do
     expected := !expected + (Address_space.load w.Workload.image (base + (k * 8)) * 7)
   done;
-  Alcotest.(check int) "sum unchanged" !expected ctxs.(0).Context.regs.(15);
+  Alcotest.(check int) "sum unchanged" !expected ctxs.(0).Context.regs.{15};
   Alcotest.(check int) "compute costs its cycles" (ops * compute)
     (r.Scheduler.cycles - r0.Scheduler.cycles)
 
@@ -127,7 +127,7 @@ let test_btree_correct () =
       for k = 0 to ops - 1 do
         expected := !expected + (Address_space.load w.Workload.image (base + (k * 8)) * 3)
       done;
-      Alcotest.(check int) (Printf.sprintf "lane %d lookups" i) !expected ctx.Context.regs.(15))
+      Alcotest.(check int) (Printf.sprintf "lane %d lookups" i) !expected ctx.Context.regs.{15})
     ctxs
 
 let test_btree_depth_work () =
@@ -149,7 +149,7 @@ let test_array_scan_correct () =
       for k = 0 to (32 * 50) - 1 do
         expected := !expected + Address_space.load w.Workload.image (base + (k * 8))
       done;
-      Alcotest.(check int) (Printf.sprintf "lane %d sum" i) !expected ctx.Context.regs.(15))
+      Alcotest.(check int) (Printf.sprintf "lane %d sum" i) !expected ctx.Context.regs.{15})
     ctxs
 
 let test_array_scan_cache_friendly () =
@@ -175,7 +175,7 @@ let test_hash_join_correct () =
         let key = Address_space.load w.Workload.image (base + (k * 8)) in
         expected := !expected + ((key * 13) + 1)
       done;
-      Alcotest.(check int) (Printf.sprintf "lane %d join sum" i) !expected ctx.Context.regs.(15))
+      Alcotest.(check int) (Printf.sprintf "lane %d join sum" i) !expected ctx.Context.regs.{15})
     ctxs
 
 let test_hash_join_manual_coalesced () =
@@ -220,7 +220,7 @@ let test_graph_bfs_correct () =
   let ctxs, counters, _ = run_workload w in
   Alcotest.(check int) "settled = reachable, both lanes" (2 * vertices) counters.Counters.ops;
   Array.iter
-    (fun ctx -> Alcotest.(check int) "settle counter" vertices ctx.Context.regs.(15))
+    (fun ctx -> Alcotest.(check int) "settle counter" vertices ctx.Context.regs.{15})
     ctxs
 
 let test_graph_bfs_reset () =
@@ -233,13 +233,13 @@ let test_graph_bfs_reset () =
   let ctx = Workload.context w ~lane:0 ~id:9 ~mode:Context.Primary in
   let r = Scheduler.run_sequential (Hierarchy.create cfg) w.Workload.image [| ctx |] in
   ignore r;
-  Alcotest.(check bool) "stale image settles nothing new" true (ctx.Context.regs.(15) <= 1);
+  Alcotest.(check bool) "stale image settles nothing new" true (ctx.Context.regs.{15} <= 1);
   w.Workload.reset ();
   let ctx2 = Workload.context w ~lane:0 ~id:10 ~mode:Context.Primary in
   let (_ : Scheduler.result) =
     Scheduler.run_sequential (Hierarchy.create cfg) w.Workload.image [| ctx2 |]
   in
-  Alcotest.(check int) "reset restores the traversal" vertices ctx2.Context.regs.(15)
+  Alcotest.(check int) "reset restores the traversal" vertices ctx2.Context.regs.{15}
 
 let test_graph_bfs_pgo_speedup () =
   let mk () = Graph_bfs.make ~lanes:8 ~vertices:16384 ~degree:4 ~seed:33 () in
@@ -342,10 +342,10 @@ let test_offload_correct () =
         raw := !raw + v;
         transformed := !transformed + Engine.accel_transform v
       done;
-      Alcotest.(check int) (Printf.sprintf "lane %d raw checksum" i) !raw ctx.Context.regs.(14);
+      Alcotest.(check int) (Printf.sprintf "lane %d raw checksum" i) !raw ctx.Context.regs.{14};
       Alcotest.(check int)
         (Printf.sprintf "lane %d accel checksum" i)
-        !transformed ctx.Context.regs.(15))
+        !transformed ctx.Context.regs.{15})
     ctxs
 
 let test_offload_wait_stalls_exposed () =
